@@ -1,0 +1,138 @@
+"""Extensions the paper explicitly points at — open problems and
+question 5, answered with the same models.
+
+* **Question 5 / Section VI close (inverse design):** the scaling factor
+  needed for 75 GFLOPS/W, and the cheapest conforming machine under
+  asymmetric engineering costs.
+* **Open problem: minimize average power** for the replicated n-body
+  algorithm.
+* **Open problem: 2.5D LU latency across environments** — the
+  strong-scaling ceiling p where the non-scaling sqrt(cp) term reaches
+  half the runtime, for embedded / cluster / cloud parameter vectors.
+* **Reference [7]: heterogeneous pools** — the energy/runtime frontier
+  over real Table II devices.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_series, render_table
+from repro.core.codesign import (
+    CodesignProblem,
+    cheapest_conforming_machine,
+    efficiency,
+    feasible_scaling,
+)
+from repro.core.costs import ClassicalMatMulCosts
+from repro.core.heterogeneous import HeterogeneousMachine
+from repro.core.optimize import NBodyOptimizer
+from repro.core.parameters import MachineParameters
+from repro.machines.catalog import JAKETOWN, PROCESSOR_TABLE
+from repro.machines.presets import lu_latency_environment_study
+
+
+def test_inverse_design(benchmark, emit):
+    def solve():
+        uniform = feasible_scaling(75.0, JAKETOWN, n=35000.0)
+        prob = CodesignProblem(
+            JAKETOWN,
+            target_gflops_per_watt=10.0,
+            cost_weights={"gamma_e": 1.0, "beta_e": 5.0, "delta_e": 0.3},
+        )
+        machine, scalings, cost = cheapest_conforming_machine(prob)
+        return uniform, prob, machine, scalings, cost
+
+    uniform, prob, machine, scalings, cost = benchmark(solve)
+    achieved = efficiency(ClassicalMatMulCosts(), machine, 35000.0)
+    emit(
+        "ext_inverse_design",
+        f"uniform scaling for 75 GFLOPS/W: factor {uniform:.5g} "
+        f"(~{-math.log2(uniform):.2f} halving generations)\n"
+        f"cheapest 10-GFLOPS/W machine (costs gamma_e:1, beta_e:5, delta_e:0.3): "
+        f"scalings {dict(zip(prob.names, [f'{s:.4g}' for s in scalings]))}, "
+        f"design cost {cost:.3f} e-foldings, achieved {achieved:.3f} GFLOPS/W",
+    )
+    assert 3.5 < -math.log2(uniform) < 6.5  # case-study consistency
+    assert achieved >= 10.0 * (1 - 1e-6)
+    # With beta_e 5x as expensive it should not be the workhorse.
+    by = dict(zip(prob.names, scalings))
+    assert by["beta_e"] >= by["gamma_e"]
+
+
+def test_min_average_power(benchmark, emit):
+    opt = NBodyOptimizer(
+        JAKETOWN.replace(max_message_words=2.0**20, epsilon_e=1e-2),
+        interaction_flops=20.0,
+    )
+    n = 1e6
+    run = benchmark(opt.min_average_power, n)
+    fast = opt.min_runtime(n, opt.p_range_at_optimal_memory(n)[1])
+    emit(
+        "ext_min_average_power",
+        f"n-body min average power: P = {run.average_power:.5g} W at "
+        f"p = {run.p:.4g}, M = {run.M:.5g}\n"
+        f"(vs {fast.average_power:.5g} W for the fastest run — 'race to "
+        "halt' maximizes power draw)",
+    )
+    assert run.average_power < fast.average_power
+    assert run.p == pytest.approx(max(1.0, n / run.M), rel=1e-9)
+
+
+def test_lu_environments(benchmark, emit):
+    rows = benchmark(lu_latency_environment_study, 50_000.0, 4.0)
+    table = render_table(
+        ["environment", "crossover p (lat = 50%)", "lat frac @ p=4096", "LU/MM @ ref"],
+        [
+            (
+                r.environment,
+                f"{r.crossover_p:.4g}",
+                f"{r.latency_fraction_at_ref:.4f}",
+                f"{r.lu_penalty_at_ref:.4f}",
+            )
+            for r in rows
+        ],
+        title="2.5D LU latency ceiling by environment (n = 50 000, c = 4)",
+    )
+    emit("ext_lu_environments", table)
+    by = {r.environment: r for r in rows}
+    assert by["cloud"].crossover_p < by["cluster"].crossover_p < (
+        by["embedded"].crossover_p
+    )
+
+
+def test_heterogeneous_frontier(benchmark, emit):
+    def as_machine(spec):
+        return MachineParameters(
+            gamma_t=spec.gamma_t, beta_t=0.0, alpha_t=0.0,
+            gamma_e=spec.gamma_e, beta_e=0.0, alpha_e=0.0,
+            delta_e=0.0, epsilon_e=0.0,
+            memory_words=1e12, max_message_words=1e12,
+        )
+
+    gtx = next(s for s in PROCESSOR_TABLE if "GTX590" in s.name)
+    snb = next(s for s in PROCESSOR_TABLE if "Sandy Bridge" in s.name)
+    arm = next(s for s in PROCESSOR_TABLE if "0.8 GHz" in s.name)
+    pool = HeterogeneousMachine(
+        processors=(as_machine(gtx), as_machine(snb), as_machine(arm))
+    )
+    F = 1e15
+    frontier = benchmark(pool.energy_time_frontier, F, 8)
+    emit(
+        "ext_heterogeneous_frontier",
+        render_series(
+            "deadline (s)",
+            [f"{a.time:.5g}" for a in frontier],
+            {
+                "energy (J)": [f"{a.energy:.6g}" for a in frontier],
+                "GTX590 %": [f"{a.flops[0] / F:.1%}" for a in frontier],
+            },
+            title="GTX590 + Sandy Bridge + ARM pool: energy/runtime frontier",
+        ),
+    )
+    times = [a.time for a in frontier]
+    energies = [a.energy for a in frontier]
+    assert times[0] == pytest.approx(pool.min_time(F), rel=1e-6)
+    assert energies[-1] == pytest.approx(pool.min_energy(F).energy, rel=1e-6)
+    assert all(b <= a * (1 + 1e-12) for a, b in zip(energies, energies[1:]))

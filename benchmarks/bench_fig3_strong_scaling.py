@@ -1,0 +1,48 @@
+"""Figure 3 — limits of communication strong scaling for matmul.
+
+Regenerates the paper's (bandwidth cost x p) vs p curves for classical
+and Strassen-like matrix multiplication. The qualitative shape asserted:
+both curves are flat (perfect strong scaling) up to their knees at
+p = n^omega0 / M^(omega0/2); the Strassen knee comes first; past the
+knees the curves rise as p^(1/3) and p^(1-2/omega0).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import figure3_series
+from repro.analysis.tables import render_series
+
+N = 10_000.0
+MEMORY_CAP = N * N / 64.0  # p_min = 64
+
+
+def test_figure3(benchmark, emit):
+    series = benchmark(
+        figure3_series, N, MEMORY_CAP, 33, 4096.0
+    )
+    p = series["p"]
+    text = render_series(
+        "p",
+        [f"{v:.5g}" for v in p],
+        {
+            "classical W*p": [f"{v:.5g}" for v in series["classical"]],
+            "strassen W*p": [f"{v:.5g}" for v in series["strassen"]],
+        },
+        title=(
+            f"Fig. 3 data (n={N:.0f}, M={MEMORY_CAP:.3g} words/proc): "
+            f"p_min={series['p_min']:.0f}, knees at "
+            f"p={series['knee_strassen']:.0f} (Strassen) and "
+            f"p={series['knee_classical']:.0f} (classical)"
+        ),
+    )
+    emit("fig3_strong_scaling", text)
+
+    # Shape assertions: flat inside, rising outside, Strassen knee first.
+    knee_c, knee_s = series["knee_classical"], series["knee_strassen"]
+    assert knee_s < knee_c
+    flat_c = series["classical"][p < 0.99 * knee_c]
+    assert np.allclose(flat_c, flat_c[0])
+    assert series["classical"][-1] > flat_c[0] * 2
+    flat_s = series["strassen"][p < 0.99 * knee_s]
+    assert np.allclose(flat_s, flat_s[0])
+    assert series["strassen"][-1] > flat_s[0] * 2

@@ -1,0 +1,75 @@
+"""Figure 4 — possible executions of the replicated n-body algorithm.
+
+Regenerates the (p, M) plane data of Fig. 4(a)-(c): the feasible wedge,
+the p-independent energy surface minimized on M = M0, constant-time
+contours, and the four budget regions (energy, per-processor power,
+runtime, total power).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import figure4_series
+from repro.analysis.tables import render_series
+from repro.core.parameters import MachineParameters
+
+MACHINE = MachineParameters(
+    gamma_t=1e-9, beta_t=2e-8, alpha_t=1e-6,
+    gamma_e=2e-9, beta_e=5e-8, alpha_e=1e-7,
+    delta_e=5e-9, epsilon_e=1e-3,
+    memory_words=1e8, max_message_words=1e5,
+)
+N = 1e6
+F = 10.0
+
+
+def test_figure4(benchmark, emit):
+    s = benchmark(
+        figure4_series, MACHINE, N, F, 32, 32
+    )
+    grid = s["grid"]
+    # Energy profile along M (independent of p — report one column).
+    finite_cols = np.isfinite(grid.energy).any(axis=0)
+    energies = []
+    for mi in range(len(grid.M)):
+        row = grid.energy[mi]
+        vals = row[np.isfinite(row)]
+        energies.append(vals[0] if len(vals) else float("nan"))
+    text = render_series(
+        "M (words)",
+        [f"{v:.4g}" for v in grid.M],
+        {
+            "E(n,M) J": [f"{v:.5g}" for v in energies],
+            "#feasible p": [int(grid.feasible[mi].sum()) for mi in range(len(grid.M))],
+            "#E-budget": [int(s["energy_budget_region"][mi].sum()) for mi in range(len(grid.M))],
+            "#T-budget": [int(s["time_budget_region"][mi].sum()) for mi in range(len(grid.M))],
+            "#P1-budget": [int(s["proc_power_region"][mi].sum()) for mi in range(len(grid.M))],
+            "#Ptot-budget": [int(s["total_power_region"][mi].sum()) for mi in range(len(grid.M))],
+        },
+        title=(
+            f"Fig. 4 data (n={N:.0g}, f={F}): M0={s['M0']:.4g}, "
+            f"E*={s['E_star']:.5g} J; budgets: E<={s['energy_budget']:.4g} J, "
+            f"T<={s['time_budget']:.4g} s, P1<={s['proc_power_budget']:.4g} W, "
+            f"Ptot<={s['total_power_budget']:.4g} W"
+        ),
+    )
+    emit("fig4_nbody_frontier", text)
+
+    # Shape assertions (the figure's qualitative content):
+    # (a) energy independent of p, minimized at M ~ M0;
+    e = np.array(energies)
+    m = grid.M
+    finite = np.isfinite(e)
+    m0_idx = np.argmin(np.abs(np.log(m / s["M0"])))
+    assert e[finite].min() == min(
+        v for v in e[finite]
+    )  # well-defined minimum
+    assert abs(np.log(m[finite][np.argmin(e[finite])] / s["M0"])) < 1.0
+    # (b)/(c) every budget region is a non-empty subset of the wedge.
+    for key in (
+        "energy_budget_region",
+        "time_budget_region",
+        "proc_power_region",
+        "total_power_region",
+    ):
+        assert s[key].sum() > 0
+        assert not (s[key] & ~grid.feasible).any()

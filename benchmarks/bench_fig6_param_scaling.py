@@ -1,0 +1,48 @@
+"""Figure 6 — scaling gamma_e, beta_e, delta_e independently.
+
+Regenerates the case study: 2.5D matmul GFLOPS/W on the Table I machine
+(n = 35000, p = 2 sockets) with one energy parameter halved per process
+generation. Asserted shape: beta_e is flat; gamma_e saturates after
+about five generations; delta_e saturates lower than gamma_e.
+"""
+
+from repro.analysis.figures import figure6_series
+from repro.analysis.tables import render_series
+from repro.machines.casestudy import efficiency_saturation_limit
+
+GENERATIONS = 8
+
+
+def test_figure6(benchmark, emit):
+    series = benchmark(figure6_series, GENERATIONS)
+    sat = {
+        name: efficiency_saturation_limit(name)
+        for name in ("gamma_e", "beta_e", "delta_e")
+    }
+    text = render_series(
+        "generation",
+        list(range(GENERATIONS + 1)),
+        {
+            "halve gamma_e": [f"{v:.4f}" for v in series["gamma_e"]],
+            "halve beta_e": [f"{v:.4f}" for v in series["beta_e"]],
+            "halve delta_e": [f"{v:.4f}" for v in series["delta_e"]],
+        },
+        title=(
+            "Fig. 6 data — GFLOPS/W, one parameter halved per generation "
+            f"(saturation limits: gamma_e->{sat['gamma_e']:.3f}, "
+            f"beta_e->{sat['beta_e']:.3f}, delta_e->{sat['delta_e']:.3f})"
+        ),
+    )
+    emit("fig6_param_scaling", text)
+
+    # beta_e: "almost no effect".
+    assert series["beta_e"][-1] / series["beta_e"][0] < 1.001
+    # gamma_e: early gains, then saturation after ~5 generations.
+    g = series["gamma_e"]
+    assert g[5] / g[0] > 2.0
+    assert g[8] / g[5] < 1.05
+    # Each curve approaches its zero-parameter limit from below.
+    assert g[-1] <= sat["gamma_e"]
+    assert series["delta_e"][-1] <= sat["delta_e"]
+    # delta_e's ceiling is lower than gamma_e's on this machine.
+    assert sat["delta_e"] < sat["gamma_e"]

@@ -1,0 +1,36 @@
+"""Figure 7 — scaling gamma_e, beta_e, delta_e together.
+
+Regenerates the joint-scaling trajectory and the paper's headline
+case-study number: 75 GFLOPS/W reached after ~5 generations of halving
+all three energy parameters.
+"""
+
+from repro.analysis.figures import figure7_series
+from repro.analysis.tables import render_series
+from repro.machines.casestudy import generations_to_target
+
+GENERATIONS = 8
+
+
+def test_figure7(benchmark, emit):
+    s = benchmark(figure7_series, GENERATIONS)
+    joint = s["joint"]
+    g75 = generations_to_target(75.0)
+    text = render_series(
+        "generation",
+        list(range(GENERATIONS + 1)),
+        {"all three halved (GFLOPS/W)": [f"{v:.4f}" for v in joint]},
+        title=(
+            "Fig. 7 data — joint halving of gamma_e, beta_e, delta_e; "
+            f"75 GFLOPS/W crossed at generation {g75:.2f} "
+            "(paper: 'after 5 generations')"
+        ),
+    )
+    emit("fig7_joint_scaling", text)
+
+    # Doubling per generation (alpha_e = eps_e = 0 on Table I).
+    for a, b in zip(joint, joint[1:]):
+        assert abs(b / a - 2.0) < 1e-9
+    # The paper's headline: target reached in about five generations.
+    assert 4.0 < g75 < 7.0
+    assert joint[6] >= 75.0 > joint[5]

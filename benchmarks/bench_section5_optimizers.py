@@ -1,0 +1,91 @@
+"""Section V — the five optimization questions, timed and cross-checked.
+
+Benchmarks the closed-form n-body optimizer and the numeric
+matmul/Strassen optimizer on the Table I machine, and asserts their
+mutual consistency (the numeric machinery applied to the n-body cost
+model reproduces the closed forms).
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.costs import ClassicalMatMulCosts, NBodyCosts, StrassenMatMulCosts
+from repro.core.optimize import NBodyOptimizer
+from repro.core.optimize_numeric import NumericOptimizer
+from repro.machines.catalog import JAKETOWN
+
+MACHINE = JAKETOWN.replace(max_message_words=2.0**20, epsilon_e=1e-2)
+N_BODY = 1_000_000.0
+N_MM = 50_000.0
+F = 20.0
+
+
+def answer_all_closed_form():
+    opt = NBodyOptimizer(MACHINE, interaction_flops=F)
+    m0 = opt.optimal_memory()
+    e_star = opt.min_energy(N_BODY)
+    t_thresh = opt.runtime_threshold_for_min_energy(N_BODY)
+    q2 = opt.min_energy_given_runtime(N_BODY, t_thresh / 10)
+    q3 = opt.min_runtime_given_energy(N_BODY, e_star * 1.2)
+    q4 = opt.min_runtime_given_total_power(
+        N_BODY, 100 * opt.processor_power(m0)
+    )
+    q5 = opt.gflops_per_watt_optimal()
+    return opt, m0, e_star, q2, q3, q4, q5
+
+
+def test_section5_nbody_closed_forms(benchmark, emit):
+    opt, m0, e_star, q2, q3, q4, q5 = benchmark(answer_all_closed_form)
+    rows = [
+        ("Q1 min energy", f"M0={m0:.4g} words", f"E*={e_star:.5g} J"),
+        ("Q2 min E | T<=thresh/10", f"p={q2.p:.4g}, M={q2.M:.4g}", f"E={q2.energy:.5g} J"),
+        ("Q3 min T | E<=1.2E*", f"p={q3.p:.4g}, M={q3.M:.4g}", f"T={q3.time:.4g} s"),
+        ("Q4 min T | Ptot budget", f"p={q4.p:.4g}, M={q4.M:.4g}", f"T={q4.time:.4g} s"),
+        ("Q5 best efficiency", f"{q5:.4f} GFLOPS/W", "machine constraint"),
+    ]
+    emit(
+        "section5_nbody",
+        render_table(
+            ["question", "operating point", "value"],
+            rows,
+            title=f"Section V answers, Table I machine, n={N_BODY:.0g}, f={F}",
+        ),
+    )
+    assert q2.energy >= e_star
+    assert q3.energy <= e_star * 1.2 * (1 + 1e-9)
+    assert q5 > 0
+
+
+def test_section5_numeric_matches_closed_form(benchmark, emit):
+    analytic = NBodyOptimizer(MACHINE, interaction_flops=F)
+    numeric = NumericOptimizer(NBodyCosts(interaction_flops=F), MACHINE)
+    run = benchmark(numeric.min_energy, N_BODY)
+    emit(
+        "section5_numeric_crosscheck",
+        f"numeric M*={run.M:.6g} vs closed-form M0={analytic.optimal_memory():.6g}\n"
+        f"numeric E*={run.energy:.6g} vs closed-form E*={analytic.min_energy(N_BODY):.6g}",
+    )
+    assert run.energy == pytest.approx(analytic.min_energy(N_BODY), rel=1e-4)
+    assert run.M == pytest.approx(analytic.optimal_memory(), rel=0.05)
+
+
+def test_section5_matmul_and_strassen(benchmark, emit):
+    def optimize_both():
+        c = NumericOptimizer(ClassicalMatMulCosts(), MACHINE).min_energy(N_MM)
+        s = NumericOptimizer(StrassenMatMulCosts(), MACHINE).min_energy(N_MM)
+        return c, s
+
+    c, s = benchmark(optimize_both)
+    emit(
+        "section5_matmul",
+        render_table(
+            ["algorithm", "M*", "p (1 copy)", "E* (J)"],
+            [
+                ("classical 2.5D", f"{c.M:.4g}", f"{c.p:.4g}", f"{c.energy:.5g}"),
+                ("Strassen CAPS", f"{s.M:.4g}", f"{s.p:.4g}", f"{s.energy:.5g}"),
+            ],
+            title=f"Tech-report extension: min-energy matmul at n={N_MM:.0g}",
+        ),
+    )
+    # Strassen's fewer flops/words must cost no more energy.
+    assert s.energy < c.energy

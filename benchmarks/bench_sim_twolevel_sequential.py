@@ -1,0 +1,118 @@
+"""The two remaining model layers, measured.
+
+* **Eq. (3), sequential model (Fig. 1a):** the blocked matmul's
+  fast/slow traffic tracks n^3/sqrt(M) and always dominates the
+  Hong-Kung bound; the naive loop pays Theta(n^3); BLAS2 matvec is
+  pinned at its compulsory I+O regardless of memory.
+* **Eq. (17), two-level model (Fig. 2):** the replicated n-body run
+  with teams mapped onto nodes splits its measured traffic into the
+  internode ring and the intranode reduction, and the measured counts
+  evaluate through the self-consistent two-level energy composition.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.nbody import GRAVITY, nbody_replicated
+from repro.core.bounds import sequential_bandwidth_lower_bound
+from repro.core.parameters import TwoLevelMachineParameters
+from repro.core.twolevel import twolevel_energy_from_counts
+from repro.sequential.blocked_matmul import (
+    blocked_matmul,
+    blocked_traffic_model,
+    naive_matmul,
+)
+from repro.sequential.cache import FastMemory
+from repro.sequential.matvec import matvec, matvec_traffic_model
+from repro.simmpi.engine import run_spmd
+
+
+def test_sequential_eq3(benchmark, emit):
+    rng = np.random.default_rng(21)
+    n = 48
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+
+    def measure():
+        rows = []
+        for M in (3 * 8 * 8, 3 * 16 * 16):
+            fm = FastMemory(M)
+            blocked_matmul(a, b, fm)
+            fn = FastMemory(M)
+            naive_matmul(a, b, fn)
+            rows.append(
+                (
+                    M,
+                    fm.stats.words_moved,
+                    blocked_traffic_model(n, M),
+                    sequential_bandwidth_lower_bound(2.0 * n**3, M),
+                    fn.stats.words_moved,
+                )
+            )
+        fmv = FastMemory(3 * n)
+        matvec(a, rng.standard_normal(n), fmv)
+        return rows, fmv.stats.words_moved
+
+    rows, mv = benchmark(measure)
+    lines = [
+        f"M={M}: blocked W={wb} (model {wm:.0f}, Hong-Kung LB {lb:.0f}); "
+        f"naive W={wn} (~n^3={n**3})"
+        for M, wb, wm, lb, wn in rows
+    ]
+    lines.append(
+        f"matvec (BLAS2): W={mv} == compulsory I+O={matvec_traffic_model(n):.0f} "
+        "(memory cannot help)"
+    )
+    emit("sim_sequential_eq3", "\n".join(lines))
+
+    for M, wb, wm, lb, wn in rows:
+        assert wb >= lb  # lower bound respected
+        assert 0.7 * wm < wb < 1.6 * wm  # tracks the n^3/sqrt(M) model
+        assert wn > 3 * wb  # avoidance pays
+    # Quadrupling M halves blocked traffic; naive unchanged.
+    assert rows[0][1] / rows[1][1] == pytest.approx(2.0, rel=0.3)
+    assert rows[0][4] == rows[1][4]
+    assert mv == matvec_traffic_model(n)
+
+
+def test_twolevel_eq17_measured(benchmark, emit):
+    rng = np.random.default_rng(22)
+    n = 96
+    pos = rng.standard_normal((n, 3))
+    q = np.ones(n)
+    c = 2  # team size = node size
+
+    def measure():
+        out = run_spmd(8, nbody_replicated, pos, q, c, GRAVITY, node_size=c)
+        return out.report
+
+    rep = benchmark(measure)
+    tl_machine = TwoLevelMachineParameters(
+        gamma_t=1e-9, gamma_e=1e-9, epsilon_e=0.0,
+        beta_t_node=1e-7, alpha_t_node=0.0,
+        beta_e_node=1e-7, alpha_e_node=0.0,
+        beta_t_core=1e-9, alpha_t_core=0.0,
+        beta_e_core=1e-9, alpha_e_core=0.0,
+        delta_e_node=1e-9, delta_e_core=1e-10,
+        memory_node=1e6, memory_core=1e4,
+        p_nodes=4, p_cores=c,
+    )
+    energies = [
+        twolevel_energy_from_counts(tl_machine, rep.twolevel_counts(r))
+        for r in range(rep.size)
+    ]
+    inter = rep.total_words_internode
+    intra = rep.total_words - inter
+    emit(
+        "sim_twolevel_eq17",
+        f"replicated n-body, 4 teams x {c} members, teams = nodes:\n"
+        f"  internode words (source ring)      = {inter}\n"
+        f"  intranode words (force reduction)  = {intra}\n"
+        f"  per-rank two-level energy (J, max) = {max(energies):.5g}",
+    )
+
+    assert inter > 0 and intra > 0
+    # The ring moves whole particle blocks repeatedly; the reduction
+    # moves each force array ~once: internode dominates.
+    assert inter > intra
+    assert all(e > 0 for e in energies)

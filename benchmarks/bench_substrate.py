@@ -1,0 +1,65 @@
+"""Meta-benchmarks of the simulation substrate itself.
+
+These time the simulator (not the modeled machine): p2p round-trips,
+collective fan-out, engine spawn/join overhead, and the metering layer.
+They guard against performance regressions that would make the larger
+reproduction sweeps (p > 100 threads) impractical, and they document the
+substrate's real costs for users sizing their own experiments.
+"""
+
+import numpy as np
+
+from repro.simmpi.engine import run_spmd
+
+
+def test_engine_spawn_overhead(benchmark):
+    """Cost of standing up and tearing down an 8-rank world."""
+    benchmark(run_spmd, 8, lambda comm: None)
+
+
+def test_p2p_throughput(benchmark):
+    payload = np.zeros(4096)
+
+    def prog(comm):
+        if comm.rank == 0:
+            for i in range(50):
+                comm.send(payload, 1, tag=i)
+        else:
+            for i in range(50):
+                comm.recv(0, tag=i)
+
+    result = benchmark(run_spmd, 2, prog)
+    assert result.report.total_words == 50 * 4096
+
+
+def test_collective_fanout(benchmark):
+    payload = np.zeros(512)
+
+    def prog(comm):
+        for _ in range(5):
+            comm.allreduce(payload)
+
+    result = benchmark(run_spmd, 16, prog)
+    assert result.report.words_conserved()
+
+
+def test_large_world(benchmark):
+    """A 64-rank all-to-all — the heaviest shape the sweeps use."""
+
+    def prog(comm):
+        comm.alltoall([np.zeros(8) for _ in range(comm.size)])
+
+    result = benchmark(run_spmd, 64, prog)
+    assert result.report.max_messages == 63
+
+
+def test_metering_overhead(benchmark):
+    """Pure counting cost: a million metered flops in 1-flop increments
+    would be silly; 1000 calls is the realistic granularity."""
+
+    def prog(comm):
+        for _ in range(1000):
+            comm.add_flops(64.0)
+
+    result = benchmark(run_spmd, 4, prog)
+    assert result.report.total_flops == 4 * 64_000.0

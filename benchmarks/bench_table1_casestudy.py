@@ -1,0 +1,85 @@
+"""Table I — case-study machine parameters.
+
+Regenerates the Jaketown parameter table and re-derives every derived
+constant from the hardware inputs, asserting agreement with the printed
+values (and flagging the documented beta_e discrepancy).
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table, render_table1
+from repro.machines.catalog import (
+    JAKETOWN,
+    JAKETOWN_SPEC,
+    derive_beta_e,
+    derive_beta_t,
+    derive_delta_e,
+    derive_gamma_e,
+    derive_gamma_t,
+)
+
+
+def build_comparison():
+    spec = JAKETOWN_SPEC
+    rows = [
+        (
+            "gamma_t (s/flop)",
+            derive_gamma_t(spec["peak_fp_gflops"]),
+            JAKETOWN.gamma_t,
+        ),
+        (
+            "gamma_e (J/flop)",
+            derive_gamma_e(spec["chip_tdp_watts"], spec["peak_fp_gflops"]),
+            JAKETOWN.gamma_e,
+        ),
+        (
+            "beta_t (s/word)",
+            derive_beta_t(spec["data_width_bytes"], spec["link_bw_gbytes"]),
+            JAKETOWN.beta_t,
+        ),
+        (
+            "beta_e (J/word)",
+            derive_beta_e(
+                derive_beta_t(spec["data_width_bytes"], spec["link_bw_gbytes"]),
+                spec["link_active_power_w"],
+            ),
+            JAKETOWN.beta_e,
+        ),
+        (
+            "delta_e (J/word/s)",
+            derive_delta_e(
+                int(spec["dram_dimms_per_socket"]),
+                spec["dram_dimm_power_w"],
+                2.0**32,
+            ),
+            JAKETOWN.delta_e,
+        ),
+        ("alpha_t (s/msg)", spec["link_latency_s"], JAKETOWN.alpha_t),
+    ]
+    return rows
+
+
+def test_table1(benchmark, emit):
+    rows = benchmark(build_comparison)
+    text = (
+        render_table1()
+        + "\n\n"
+        + render_table(
+            ["constant", "derived from inputs", "printed in Table I"],
+            rows,
+            title="Derived vs printed model constants",
+        )
+    )
+    emit("table1_casestudy", text)
+
+    by_name = {name: (derived, printed) for name, derived, printed in rows}
+    for name in ("gamma_t (s/flop)", "gamma_e (J/flop)", "delta_e (J/word/s)"):
+        derived, printed = by_name[name]
+        assert derived == pytest.approx(printed, rel=5e-3)
+    derived, printed = by_name["beta_t (s/word)"]
+    assert derived == pytest.approx(printed, rel=5e-3)
+    # The documented erratum: the stated beta_e rule gives 3.36e-10,
+    # the table prints 3.78e-10 (== gamma_e).
+    derived, printed = by_name["beta_e (J/word)"]
+    assert derived == pytest.approx(3.359e-10, rel=1e-2)
+    assert printed == pytest.approx(JAKETOWN.gamma_e)

@@ -1,0 +1,38 @@
+"""Table II — example machine parameters for eleven processors.
+
+Regenerates every derived column (peak FP, gamma_t, gamma_e, GFLOPS/W)
+from the catalog inputs and asserts agreement with the paper's printed
+numbers, plus the Section VII observations drawn from the table.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table2
+from repro.machines.catalog import PROCESSOR_TABLE
+
+
+def derive_all():
+    return [
+        (s.name, s.peak_gflops, s.gamma_t, s.gamma_e, s.gflops_per_watt)
+        for s in PROCESSOR_TABLE
+    ]
+
+
+def test_table2(benchmark, emit):
+    rows = benchmark(derive_all)
+    emit("table2_catalog", render_table2())
+
+    # Column-by-column regression against the printed table.
+    for spec, (_, peak, gt, ge, gfw) in zip(PROCESSOR_TABLE, rows):
+        assert peak == pytest.approx(spec.printed_peak_gflops, rel=1e-3)
+        assert gt == pytest.approx(spec.printed_gamma_t, rel=5e-3)
+        assert ge == pytest.approx(spec.printed_gamma_e, rel=5e-3)
+        assert gfw == pytest.approx(spec.printed_gflops_per_watt, rel=2e-3)
+
+    # Section VII: nobody reaches 10 GFLOPS/W...
+    assert max(r[4] for r in rows) < 10.0
+    # ...and the two efficiency poles are the big GPU and the slow ARM.
+    by_eff = sorted(rows, key=lambda r: r[4], reverse=True)
+    top2 = {by_eff[0][0], by_eff[1][0]}
+    assert any("GTX590" in name for name in top2)
+    assert any("ARM" in name for name in top2)

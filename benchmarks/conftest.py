@@ -1,0 +1,34 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures: it runs the relevant experiment inside ``benchmark(...)`` (so
+pytest-benchmark reports its cost) and emits the same rows/series the
+paper reports, both to stdout and to ``benchmarks/results/<name>.txt``
+for inspection after a captured run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """emit(name, text): print a result block and persist it."""
+
+    def _emit(name: str, text: str) -> None:
+        banner = f"\n===== {name} =====\n"
+        print(banner + text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

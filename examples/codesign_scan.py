@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Hardware/software co-design scan — Section VI and VII.
+
+Reproduces the case study's technology-scaling experiment (Figs. 6-7)
+and the Table II device survey, then uses the model the way the paper
+proposes: as a co-design tool that says *which* parameter improvements
+actually move a target metric.
+
+Run:  python examples/codesign_scan.py
+"""
+
+from repro.analysis import render_series, render_table2
+from repro.machines import (
+    JAKETOWN,
+    efficiency_saturation_limit,
+    generations_to_target,
+    matmul_gflops_per_watt,
+    scale_parameters_independently,
+    scale_parameters_jointly,
+)
+
+
+def main() -> None:
+    # -- Table II ---------------------------------------------------------
+    print(render_table2())
+    print(
+        "\nNo device reaches 10 GFLOPS/W at TDP — the paper's Section VII "
+        "observation;\nthe two poles are high-power GPUs and low-power "
+        "slow cores.\n"
+    )
+
+    # -- Fig. 6: independent scaling -----------------------------------------
+    gens = 8
+    base = matmul_gflops_per_watt(JAKETOWN)
+    print(f"Case study: 2.5D matmul on Jaketown, n = 35000, p = 2 sockets")
+    print(f"baseline model efficiency: {base:.3f} GFLOPS/W\n")
+
+    ind = scale_parameters_independently(gens)
+    print(
+        render_series(
+            "generation",
+            list(range(gens + 1)),
+            {
+                "halve gamma_e": [f"{v:.3f}" for v in ind["gamma_e"]],
+                "halve beta_e": [f"{v:.3f}" for v in ind["beta_e"]],
+                "halve delta_e": [f"{v:.3f}" for v in ind["delta_e"]],
+            },
+            title="Fig. 6 — GFLOPS/W halving one energy parameter per generation",
+        )
+    )
+    for name in ("gamma_e", "beta_e", "delta_e"):
+        sat = efficiency_saturation_limit(name)
+        print(f"  {name} -> 0 saturates at {sat:.3f} GFLOPS/W")
+    print(
+        "  (beta_e is a dead end on this machine; gamma_e alone saturates "
+        "after ~5 generations)\n"
+    )
+
+    # -- Fig. 7: joint scaling -------------------------------------------------
+    joint = scale_parameters_jointly(gens)
+    print(
+        render_series(
+            "generation",
+            list(range(gens + 1)),
+            {"all three halved": [f"{v:.3f}" for v in joint]},
+            title="Fig. 7 — halving gamma_e, beta_e, delta_e together",
+        )
+    )
+    g75 = generations_to_target(75.0)
+    print(f"  75 GFLOPS/W is reached after {g75:.2f} joint generations\n")
+
+    # -- Co-design: what single improvement buys the most? ------------------------
+    print("Co-design deltas (one parameter improved 4x, others fixed):")
+    for name in ("gamma_e", "beta_e", "delta_e", "gamma_t", "beta_t"):
+        improved = JAKETOWN.scale(**{name: 0.25})
+        eff = matmul_gflops_per_watt(improved)
+        print(f"  {name:8s} /4  ->  {eff:7.3f} GFLOPS/W  ({eff / base:5.2f}x)")
+    print(
+        "\nTargeting on-die energy (gamma_e) or DRAM (delta_e) pays; "
+        "the QPI link (beta_e) does not\n— Section VI's conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

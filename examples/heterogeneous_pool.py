@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Heterogeneous pools and critical paths — two extensions the paper
+points at (reference [7] and the LU open problem).
+
+Part 1 builds a heterogeneous pool from real Table II devices (a GTX590,
+a Sandy Bridge, and a low-power ARM) and traces its energy/runtime
+Pareto frontier: race-to-halt uses every device, the energy optimum
+parks the work on the most efficient one, and the frontier between them
+is exactly the deadline sweep of the greedy partitioner.
+
+Part 2 turns on the simulator's virtual clock (dependency-aware
+critical-path timing) and shows the paper's LU caveat as a measurement:
+balanced matmul's critical path matches the per-rank bound, LU's
+exceeds it.
+
+Run:  python examples/heterogeneous_pool.py
+"""
+
+import numpy as np
+
+from repro import MachineParameters
+from repro.algorithms import cannon_matmul, lu_2d
+from repro.analysis import render_series
+from repro.core.heterogeneous import HeterogeneousMachine
+from repro.machines import PROCESSOR_TABLE
+from repro.simmpi import run_spmd
+
+
+def table2_machine(name_fragment: str) -> MachineParameters:
+    spec = next(s for s in PROCESSOR_TABLE if name_fragment in s.name)
+    return MachineParameters(
+        gamma_t=spec.gamma_t, beta_t=0.0, alpha_t=0.0,
+        gamma_e=spec.gamma_e, beta_e=0.0, alpha_e=0.0,
+        delta_e=0.0, epsilon_e=0.0,
+        memory_words=1e12, max_message_words=1e12,
+    )
+
+
+def heterogeneous_frontier() -> None:
+    pool = HeterogeneousMachine(
+        processors=(
+            table2_machine("GTX590"),
+            table2_machine("Sandy Bridge"),
+            table2_machine("ARM Cortex A9 (0.8"),
+        )
+    )
+    F = 1e15  # a petaflop of work
+    fast = pool.makespan_partition(F)
+    cheap = pool.min_energy(F)
+    print("Pool: GTX590 + Sandy Bridge 2687W + Cortex A9 (0.8 GHz)")
+    print(
+        f"  race-to-halt: T = {fast.time:.4g} s, E = {fast.energy:.4g} J "
+        f"(shares: {[f'{x / F:.1%}' for x in fast.flops]})"
+    )
+    print(
+        f"  min energy:   T = {cheap.time:.4g} s, E = {cheap.energy:.4g} J "
+        f"(all on the most efficient device)"
+    )
+    frontier = pool.energy_time_frontier(F, points=7)
+    print(
+        render_series(
+            "deadline (s)",
+            [f"{a.time:.4g}" for a in frontier],
+            {
+                "energy (J)": [f"{a.energy:.5g}" for a in frontier],
+                "GTX590 share": [f"{a.flops[0] / F:.1%}" for a in frontier],
+                "SNB share": [f"{a.flops[1] / F:.1%}" for a in frontier],
+                "ARM share": [f"{a.flops[2] / F:.1%}" for a in frontier],
+            },
+            title="Energy/runtime Pareto frontier (greedy = LP-optimal partition)",
+        )
+    )
+    print()
+
+
+def critical_path_demo() -> None:
+    machine = MachineParameters(
+        gamma_t=1e-9, beta_t=1e-8, alpha_t=1e-6,
+        gamma_e=1e-9, beta_e=1e-8, alpha_e=0.0,
+        delta_e=1e-9, epsilon_e=0.0,
+        memory_words=1e9, max_message_words=1e9,
+    )
+    rng = np.random.default_rng(0)
+    n = 48
+    a = rng.standard_normal((n, n))
+    spd = rng.standard_normal((n, n)) + n * np.eye(n)
+
+    mm = run_spmd(16, cannon_matmul, a, a, machine=machine).report
+    lu = run_spmd(16, lu_2d, spd, machine=machine).report
+    print("Dependency-aware timing (virtual clocks), p = 16, n = 48:")
+    for name, rep in (("cannon", mm), ("lu2d", lu)):
+        bound = rep.estimate_time(machine).total
+        path = rep.simulated_time
+        print(
+            f"  {name:7s} per-rank Eq.(1) bound = {bound:.4g} s, "
+            f"critical path = {path:.4g} s  (x{path / bound:.2f})"
+        )
+    print(
+        "\nMatmul is bulk-synchronous — the two nearly coincide. LU's panel\n"
+        "chain stretches the critical path: the executable form of the\n"
+        "paper's warning that 2.5D LU cannot strong-scale its latency term."
+    )
+
+
+def main() -> None:
+    heterogeneous_frontier()
+    critical_path_demo()
+
+
+if __name__ == "__main__":
+    main()

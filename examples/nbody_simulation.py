@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""A real n-body simulation on the replicated algorithm.
+
+The paper's intro motivates data replication with the direct n-body
+problem; this example runs the *whole application*: a cold collapse of
+a small gravitating cluster integrated with velocity-Verlet, where every
+force evaluation is the communication-optimal replicated kernel on the
+simulated machine.
+
+Shows:
+  * the parallel trajectory matching the serial reference to machine
+    precision (determinism of the replicated kernel);
+  * physical energy staying bounded (symplectic integrator);
+  * per-step communication falling with the replication factor while
+    the modeled energy stays flat — the paper's theorem, sustained over
+    a full simulation rather than a single kernel call.
+
+Run:  python examples/nbody_simulation.py
+"""
+
+import numpy as np
+
+from repro import MachineParameters
+from repro.algorithms import simulate_replicated, simulate_serial
+from repro.simmpi import run_spmd
+
+MACHINE = MachineParameters(
+    gamma_t=1e-9, beta_t=1e-8, alpha_t=1e-7,
+    gamma_e=1e-9, beta_e=1e-8, alpha_e=0.0,
+    delta_e=1e-9, epsilon_e=0.0,
+    memory_words=1e9, max_message_words=1e9,
+)
+
+
+def total_energy(pos, vel, masses, eps=1e-12):
+    ke = 0.5 * float(np.sum(masses[:, None] * vel**2))
+    diff = pos[None, :, :] - pos[:, None, :]
+    dist = np.sqrt(np.sum(diff * diff, axis=2) + eps)
+    iu = np.triu_indices(len(pos), k=1)
+    pe = -float(np.sum(masses[iu[0]] * masses[iu[1]] / dist[iu]))
+    return ke + pe
+
+
+def make_cluster(n, rng):
+    """A cold, slightly rotating Plummer-ish blob."""
+    pos = rng.standard_normal((n, 3))
+    pos *= 2.0 / np.linalg.norm(pos, axis=1, keepdims=True).clip(0.5)
+    vel = 0.05 * np.cross(pos, [0.0, 0.0, 1.0])
+    masses = rng.uniform(0.8, 1.2, n)
+    return pos, vel, masses
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    n, dt, steps = 48, 5e-4, 40
+    pos, vel, masses = make_cluster(n, rng)
+    e0 = total_energy(pos, vel, masses)
+    print(f"cold collapse: n = {n}, dt = {dt}, steps = {steps}")
+    print(f"initial energy E = {e0:.6f}\n")
+
+    ref = simulate_serial(pos, vel, masses, dt, steps)
+    e_ref = total_energy(ref.positions, ref.velocities, masses)
+    print(
+        f"serial reference: final E = {e_ref:.6f} "
+        f"(drift {abs(e_ref - e0) / abs(e0):.2%} — symplectic, bounded)"
+    )
+
+    print("\nparallel runs (same trajectory, decreasing communication):")
+    print(f"{'p':>4s} {'c':>3s} {'W/rank':>8s} {'T model':>10s} {'E model':>10s} match")
+    base_t = base_e = None
+    last_t = last_e = 1.0
+    for p, c in ((4, 1), (8, 2), (16, 4)):
+        out = run_spmd(
+            p, simulate_replicated, pos, vel, masses, dt, steps, c,
+            machine=MACHINE,
+        )
+        leaders = [r for r in out.results if r is not None]
+        ok = all(
+            np.allclose(r.positions, ref.positions, atol=1e-9) for r in leaders
+        )
+        rep = out.report
+        t = rep.simulated_time
+        e = rep.estimate_energy(
+            MACHINE, memory_words=7 * (n // (p // c))
+        ).total
+        if base_t is None:
+            base_t, base_e = t, e
+        last_t, last_e = t / base_t, e / base_e
+        print(
+            f"{p:4d} {c:3d} {rep.max_words:8d} {t:10.3g} {e:10.3g} "
+            f"{'yes' if ok else 'NO'}  "
+            f"(T x{t / base_t:.2f}, E x{e / base_e:.2f})"
+        )
+    print(
+        f"\nAcross a full simulation the theorem holds step after step: "
+        f"4x the processors gave a {1 / last_t:.1f}x speedup (ideal 4x; "
+        f"collective constants at this toy scale) at {last_e:.2f}x the "
+        "energy (ideal 1.00x)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+``pip install -e .`` uses pyproject.toml on modern toolchains; this shim
+keeps editable installs working on minimal offline environments that
+lack the ``wheel`` package (``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

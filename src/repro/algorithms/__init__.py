@@ -1,0 +1,129 @@
+"""Executable parallel algorithms (on the simmpi substrate).
+
+One implementation per algorithm the paper analyses:
+
+* 2D classical matmul: :func:`cannon_matmul`, :func:`summa_matmul`
+* 2.5D/3D classical matmul: :func:`matmul_25d`, :func:`matmul_3d`
+* fast matmul: :func:`strassen_matmul` (sequential),
+  :func:`caps_matmul` (parallel CAPS)
+* LU: :func:`blocked_lu` (sequential), :func:`lu_2d` (parallel)
+* direct n-body: :func:`nbody_serial`, :func:`nbody_ring`,
+  :func:`nbody_replicated` (+ force laws)
+* FFT: :func:`fft_serial`, :func:`fft_parallel`
+"""
+
+from repro.algorithms.cannon import cannon_matmul
+from repro.algorithms.caps import caps_assemble, caps_depth, caps_matmul, is_power_of_7
+from repro.algorithms.cholesky import (
+    blocked_cholesky,
+    cholesky_2d,
+    cholesky_flop_count,
+)
+from repro.algorithms.driver import (
+    choose_replication,
+    matmul,
+    replication_speedup_model,
+)
+from repro.algorithms.nbody_sim import (
+    SimulationResult,
+    simulate_replicated,
+    simulate_serial,
+)
+from repro.algorithms.distributions import (
+    assemble_block_2d,
+    block_1d,
+    block_2d,
+    block_ranges,
+    cyclic_merge,
+    cyclic_slice,
+    from_morton,
+    to_morton,
+)
+from repro.algorithms.fft import (
+    assemble_fft_output,
+    fft_flop_count,
+    fft_parallel,
+    fft_serial,
+)
+from repro.algorithms.lu import blocked_lu, lu_2d, lu_flop_count
+from repro.algorithms.matmul25d import grid_for_25d, matmul_25d, matmul_3d
+from repro.algorithms.nbody import (
+    COULOMB,
+    GRAVITY,
+    LENNARD_JONES,
+    ForceLaw,
+    nbody_replicated,
+    nbody_ring,
+    nbody_serial,
+)
+from repro.algorithms.strassen import (
+    DEFAULT_CUTOFF,
+    strassen_flop_count,
+    strassen_matmul,
+    winograd_flop_count,
+    winograd_matmul,
+)
+from repro.algorithms.summa import square_grid_side, summa_matmul
+from repro.algorithms.trisolve import (
+    lu_solve,
+    lu_solve_2d,
+    trisolve_lower,
+    trisolve_lower_2d,
+    trisolve_upper,
+    trisolve_upper_2d,
+)
+
+__all__ = [
+    "matmul",
+    "choose_replication",
+    "replication_speedup_model",
+    "SimulationResult",
+    "simulate_serial",
+    "simulate_replicated",
+    "cannon_matmul",
+    "summa_matmul",
+    "square_grid_side",
+    "matmul_25d",
+    "matmul_3d",
+    "grid_for_25d",
+    "strassen_matmul",
+    "strassen_flop_count",
+    "winograd_matmul",
+    "winograd_flop_count",
+    "DEFAULT_CUTOFF",
+    "caps_matmul",
+    "caps_assemble",
+    "caps_depth",
+    "is_power_of_7",
+    "blocked_lu",
+    "lu_2d",
+    "lu_flop_count",
+    "lu_solve",
+    "lu_solve_2d",
+    "trisolve_lower",
+    "trisolve_lower_2d",
+    "trisolve_upper",
+    "trisolve_upper_2d",
+    "blocked_cholesky",
+    "cholesky_2d",
+    "cholesky_flop_count",
+    "ForceLaw",
+    "GRAVITY",
+    "COULOMB",
+    "LENNARD_JONES",
+    "nbody_serial",
+    "nbody_ring",
+    "nbody_replicated",
+    "fft_serial",
+    "fft_parallel",
+    "fft_flop_count",
+    "assemble_fft_output",
+    "block_ranges",
+    "block_1d",
+    "block_2d",
+    "assemble_block_2d",
+    "cyclic_slice",
+    "cyclic_merge",
+    "to_morton",
+    "from_morton",
+]

@@ -1,0 +1,150 @@
+"""Data layouts: block grids, cyclic element distributions, Morton order.
+
+The simulator's ranks are threads sharing an address space, so "initial
+data distribution" is modeled by each rank *slicing its own piece* out
+of a global read-only array — zero metered communication, matching the
+paper's convention that the input already resides in the right layout.
+Redistribution performed *by the algorithms* (shifts, broadcasts,
+reductions) is fully metered.
+
+Provided layouts:
+
+* **2-D block** (:func:`block_2d`): the sqrt(p) x sqrt(p) tiling of
+  Cannon/SUMMA and the front face of the 2.5D algorithm.
+* **1-D block** (:func:`block_ranges` / :func:`block_1d`): particle
+  blocks of the n-body ring.
+* **cyclic** (:func:`cyclic_slice`): element e lives on rank e mod p —
+  used by CAPS, where a cyclic distribution of the Morton-ordered
+  matrix makes every Strassen linear combination rank-local.
+* **Morton (Z-order) to depth d** (:func:`to_morton`/:func:`from_morton`):
+  recursively stores the four quadrants contiguously, so quadrant
+  extraction at each CAPS recursion level is pure slicing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "block_ranges",
+    "block_1d",
+    "block_2d",
+    "assemble_block_2d",
+    "cyclic_slice",
+    "cyclic_merge",
+    "to_morton",
+    "from_morton",
+]
+
+
+def block_ranges(n: int, p: int) -> list[tuple[int, int]]:
+    """Near-equal contiguous ranges covering [0, n) across p owners.
+
+    The first ``n % p`` owners receive one extra element (numpy
+    ``array_split`` convention).
+    """
+    if n < 0 or p < 1:
+        raise ParameterError(f"need n >= 0 and p >= 1, got n={n}, p={p}")
+    base, extra = divmod(n, p)
+    out = []
+    start = 0
+    for r in range(p):
+        length = base + (1 if r < extra else 0)
+        out.append((start, start + length))
+        start += length
+    return out
+
+
+def block_1d(x: np.ndarray, rank: int, p: int) -> np.ndarray:
+    """Rank's contiguous block of the leading axis of ``x`` (a copy)."""
+    lo, hi = block_ranges(x.shape[0], p)[rank]
+    return np.array(x[lo:hi], copy=True)
+
+
+def block_2d(a: np.ndarray, row: int, col: int, grid_rows: int, grid_cols: int) -> np.ndarray:
+    """The (row, col) tile of a 2-D block distribution (a copy).
+
+    Requires the matrix dimensions to divide evenly by the grid — the
+    paper's algorithms all assume exact tilings, and an uneven tile
+    would silently skew the cost counts.
+    """
+    m, n = a.shape
+    if m % grid_rows or n % grid_cols:
+        raise ParameterError(
+            f"matrix {a.shape} does not tile evenly on a "
+            f"{grid_rows}x{grid_cols} grid"
+        )
+    bm, bn = m // grid_rows, n // grid_cols
+    return np.array(
+        a[row * bm : (row + 1) * bm, col * bn : (col + 1) * bn], copy=True
+    )
+
+
+def assemble_block_2d(tiles: list[list[np.ndarray]]) -> np.ndarray:
+    """Inverse of :func:`block_2d`: stitch a grid of tiles back together."""
+    return np.block(tiles)
+
+
+def cyclic_slice(flat: np.ndarray, rank: int, p: int) -> np.ndarray:
+    """Elements e === rank (mod p) of a flat array, in increasing e (a copy)."""
+    if not 0 <= rank < p:
+        raise ParameterError(f"rank {rank} out of range for p={p}")
+    return np.array(flat[rank::p], copy=True)
+
+
+def cyclic_merge(parts: list[np.ndarray], total: int) -> np.ndarray:
+    """Inverse of :func:`cyclic_slice` over all p ranks."""
+    p = len(parts)
+    out = np.empty(total, dtype=parts[0].dtype)
+    for r, part in enumerate(parts):
+        out[r::p] = part
+    return out
+
+
+def to_morton(a: np.ndarray, depth: int) -> np.ndarray:
+    """Flatten a square matrix quadrant-recursively to ``depth`` levels.
+
+    depth=0 is plain row-major ``ravel``. depth=d stores the four
+    quadrants contiguously in order (11, 12, 21, 22), each flattened at
+    depth d-1. Requires 2^depth to divide the matrix order.
+    """
+    n = _square_order(a)
+    if depth == 0:
+        return np.ascontiguousarray(a).ravel()
+    if n % 2:
+        raise ParameterError(f"matrix order {n} not divisible by 2 at depth {depth}")
+    h = n // 2
+    return np.concatenate(
+        [
+            to_morton(a[:h, :h], depth - 1),
+            to_morton(a[:h, h:], depth - 1),
+            to_morton(a[h:, :h], depth - 1),
+            to_morton(a[h:, h:], depth - 1),
+        ]
+    )
+
+
+def from_morton(flat: np.ndarray, n: int, depth: int) -> np.ndarray:
+    """Inverse of :func:`to_morton`."""
+    if flat.size != n * n:
+        raise ParameterError(f"flat length {flat.size} != {n}*{n}")
+    if depth == 0:
+        return flat.reshape(n, n)
+    if n % 2:
+        raise ParameterError(f"matrix order {n} not divisible by 2 at depth {depth}")
+    h = n // 2
+    q = flat.size // 4
+    out = np.empty((n, n), dtype=flat.dtype)
+    out[:h, :h] = from_morton(flat[:q], h, depth - 1)
+    out[:h, h:] = from_morton(flat[q : 2 * q], h, depth - 1)
+    out[h:, :h] = from_morton(flat[2 * q : 3 * q], h, depth - 1)
+    out[h:, h:] = from_morton(flat[3 * q :], h, depth - 1)
+    return out
+
+
+def _square_order(a: np.ndarray) -> int:
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ParameterError(f"expected a square matrix, got shape {a.shape}")
+    return a.shape[0]

@@ -1,0 +1,137 @@
+"""2.5D matrix multiplication (Solomonik & Demmel [11]).
+
+p = q^2 c ranks arranged as a q x q x c cuboid (q = sqrt(p/c)); c is the
+replication factor. The front layer's q x q tiling of A and B is
+broadcast along the depth fibers (each layer gets a copy — this is the
+"use extra memory to replicate data" step), each layer k executes the
+Cannon steps s with s === k (mod c) (q/c multiply-shift rounds, realigned
+by c between rounds), and C is sum-reduced back along the fibers to the
+front layer.
+
+Limits: c = 1 degenerates to plain Cannon (no replication, no fiber
+traffic beyond a trivial self-copy); c = p^(1/3) gives q = c — the 3D
+algorithm of Agarwal et al. [10], where each layer performs exactly one
+multiply.
+
+Per-rank costs with tile b = n/q: F = 2 n^3 / p; W dominated by the two
+fiber collectives (Theta(b^2 log c)) plus 2 (q/c) shift rounds of b^2 =
+Theta(n^2 / sqrt(c p)) — Eq. (7) of the paper. Perfect strong scaling:
+fixing M (i.e. the tile size) and growing p by c keeps W p constant.
+
+Requirements: q divisible by c (so every layer gets the same number of
+Cannon rounds — the standard layout constraint), n divisible by q.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.simmpi.cart import CartComm
+from repro.simmpi.comm import Comm
+
+__all__ = ["matmul_25d", "matmul_3d", "grid_for_25d"]
+
+
+def grid_for_25d(p: int, c: int) -> int:
+    """Validate (p, c) and return the grid side q = sqrt(p/c)."""
+    if c < 1:
+        raise ParameterError(f"replication factor c must be >= 1, got {c}")
+    if p % c:
+        raise ParameterError(f"c={c} must divide p={p}")
+    q = int(math.isqrt(p // c))
+    if q * q * c != p:
+        raise ParameterError(f"p/c = {p // c} must be a perfect square (p={p}, c={c})")
+    if q % c:
+        raise ParameterError(
+            f"grid side q={q} must be divisible by c={c} "
+            "(each layer runs q/c Cannon rounds)"
+        )
+    if c > q:
+        raise ParameterError(
+            f"c={c} exceeds the 3D limit c = p^(1/3) (q={q}); no more memory "
+            "can be exploited"
+        )
+    return q
+
+
+def matmul_25d(comm: Comm, a: np.ndarray, b: np.ndarray, c: int = 1) -> np.ndarray:
+    """Multiply global matrices with the 2.5D algorithm.
+
+    Parameters
+    ----------
+    comm:
+        Communicator of size p = q^2 c with q = sqrt(p/c) divisible by c.
+    a, b:
+        Global square operands (q | n). Front-layer ranks slice their
+        tiles locally; replication across layers is metered.
+    c:
+        Replication factor (1 = Cannon/2D ... p^(1/3) = 3D).
+
+    Returns
+    -------
+    On front-layer ranks (depth coordinate 0): the (i, j) tile of
+    C = A @ B. On other layers: None.
+    """
+    if a.ndim != 2 or a.shape[0] != a.shape[1] or a.shape != b.shape:
+        raise ParameterError(
+            f"need equal square operands, got {a.shape} and {b.shape}"
+        )
+    q = grid_for_25d(comm.size, c)
+    n = a.shape[0]
+    if n % q:
+        raise ParameterError(f"matrix order {n} must be divisible by grid side {q}")
+    bsz = n // q
+
+    cube = CartComm(comm, (q, q, c), periodic=True)
+    i, j, k = cube.coords
+    layer = cube.sub((True, True, False))  # my q x q layer (rank = (i, j))
+    fiber = cube.sub((False, False, True))  # my depth fiber (rank = k)
+
+    # --- replicate: front layer owns the data, fibers broadcast it -------
+    if k == 0:
+        a_tile = a[i * bsz : (i + 1) * bsz, j * bsz : (j + 1) * bsz].copy()
+        b_tile = b[i * bsz : (i + 1) * bsz, j * bsz : (j + 1) * bsz].copy()
+    else:
+        a_tile = b_tile = None
+    if c > 1:
+        # Large-message broadcast: ~2 tiles of traffic regardless of c,
+        # matching the model's replication cost (binomial would charge
+        # the root log2(c) tiles).
+        a_tile = fiber.comm.bcast(a_tile, root=0, algorithm="scatter_allgather")
+        b_tile = fiber.comm.bcast(b_tile, root=0, algorithm="scatter_allgather")
+    comm.allocate(3 * bsz * bsz)
+
+    # --- my layer's Cannon rounds: steps s = k, k + c, ..., q - c ---------
+    # Alignment for step s puts A[i, (j + i + s) mod q] and
+    # B[(i + j + s) mod q, j] on layer rank (i, j).
+    first = k
+    a_tile = layer.shift(a_tile, dim=1, displacement=-(i + first) % q, tag="alignA")
+    b_tile = layer.shift(b_tile, dim=0, displacement=-(j + first) % q, tag="alignB")
+
+    c_tile = np.zeros((bsz, bsz), dtype=np.result_type(a, b))
+    rounds = q // c
+    for r in range(rounds):
+        c_tile += a_tile @ b_tile
+        comm.add_flops(2.0 * bsz * bsz * bsz)
+        if r < rounds - 1:
+            a_tile = layer.shift(a_tile, dim=1, displacement=-c, tag=("A", r))
+            b_tile = layer.shift(b_tile, dim=0, displacement=-c, tag=("B", r))
+
+    # --- reduce partial C along fibers to the front layer -----------------
+    if c > 1:
+        c_tile = fiber.comm.reduce(c_tile, root=0, algorithm="reduce_scatter_gather")
+    comm.release()
+    return c_tile if k == 0 else None
+
+
+def matmul_3d(comm: Comm, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """3D matrix multiplication: the 2.5D algorithm at c = p^(1/3)."""
+    c = round(comm.size ** (1.0 / 3.0))
+    if c**3 != comm.size:
+        raise ParameterError(
+            f"3D algorithm needs a cubic processor count, got {comm.size}"
+        )
+    return matmul_25d(comm, a, b, c=c)

@@ -1,0 +1,243 @@
+"""Direct O(n^2) n-body — serial reference, 1D ring, and the
+data-replicating algorithm (Driscoll et al. [16]).
+
+The paper's claim: with a replication factor c, the all-pairs force
+computation on p = r * c ranks communicates W = Theta(n^2 / (p M)) words
+per rank (M = Theta(n c / p) words of particles held), perfectly strong
+scaling in both time and energy for n/p <= M <= n/sqrt(p).
+
+Algorithms:
+
+* :func:`nbody_serial` — all-pairs reference.
+* :func:`nbody_ring` — classic 1D ring: each of p ranks owns n/p
+  particles; sources circulate p-1 times. (The c = 1 baseline.)
+* :func:`nbody_replicated` — the team algorithm: ranks form an
+  r x c grid (r = p/c teams of c ranks). All c members of team i hold
+  target block i (the c-fold replication); the r source blocks circulate
+  around the *team ring*, but each member only processes the ring
+  positions congruent to its member index mod c — r/c ring steps each —
+  and the team's partial forces are summed with a reduction. Per-rank
+  source traffic drops from (p-1) blocks to ~r/c blocks: the promised
+  factor-c saving.
+
+Force laws are pluggable; see :class:`ForceLaw` and the built-ins
+(:data:`GRAVITY`, :data:`COULOMB`, :data:`LENNARD_JONES`). Each law
+reports its per-pair flop count f — the paper's ``interaction_flops`` —
+so measured F matches f n^2 / p.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.algorithms.distributions import block_ranges
+from repro.exceptions import ParameterError
+from repro.simmpi.cart import CartComm
+from repro.simmpi.comm import Comm
+
+__all__ = [
+    "ForceLaw",
+    "GRAVITY",
+    "COULOMB",
+    "LENNARD_JONES",
+    "nbody_serial",
+    "nbody_ring",
+    "nbody_replicated",
+]
+
+
+@dataclass(frozen=True)
+class ForceLaw:
+    """A pairwise interaction.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    kernel:
+        ``kernel(targets_pos, targets_q, sources_pos, sources_q,
+        exclude_self) -> (n_targets, dim) forces`` — vectorized over all
+        target x source pairs. ``targets_q``/``sources_q`` are the
+        per-particle scalars (mass or charge). ``exclude_self`` is True
+        when the two sets are the same block and self-interactions must
+        be skipped.
+    flops_per_pair:
+        The paper's f: flops one target-source pair costs (used for
+        metering; a documented model constant, not a measured count).
+    """
+
+    name: str
+    kernel: Callable[..., np.ndarray]
+    flops_per_pair: float
+
+    def __call__(self, tp, tq, sp, sq, exclude_self: bool) -> np.ndarray:
+        return self.kernel(tp, tq, sp, sq, exclude_self)
+
+
+def _pair_geometry(tp, sp, eps):
+    """diff (t, s, d), inverse distance (t, s) with softening."""
+    diff = sp[None, :, :] - tp[:, None, :]
+    dist2 = np.sum(diff * diff, axis=2) + eps
+    return diff, dist2
+
+
+def _gravity_kernel(tp, tq, sp, sq, exclude_self, eps=1e-12):
+    diff, dist2 = _pair_geometry(tp, sp, eps)
+    inv = dist2 ** (-1.5)
+    if exclude_self:
+        np.fill_diagonal(inv, 0.0)
+    w = (tq[:, None] * sq[None, :]) * inv
+    return np.einsum("ts,tsd->td", w, diff)
+
+
+def _coulomb_kernel(tp, tq, sp, sq, exclude_self, eps=1e-12):
+    # Like gravity with repulsion: force on t points away from s for
+    # like charges.
+    return -_gravity_kernel(tp, tq, sp, sq, exclude_self, eps)
+
+
+def _lj_kernel(tp, tq, sp, sq, exclude_self, eps=1e-12, sigma=1.0):
+    diff, dist2 = _pair_geometry(tp, sp, eps)
+    inv2 = sigma * sigma / dist2
+    inv6 = inv2**3
+    # F = 24 (2 inv12 - inv6) / r^2 * diff   (epsilon_LJ = 1)
+    mag = 24.0 * (2.0 * inv6 * inv6 - inv6) / dist2
+    if exclude_self:
+        np.fill_diagonal(mag, 0.0)
+    return -np.einsum("ts,tsd->td", mag, diff)
+
+
+#: Softened Newtonian gravity, ~20 flops/pair in 3D.
+GRAVITY = ForceLaw("gravity", _gravity_kernel, flops_per_pair=20.0)
+#: Coulomb electrostatics (gravity with sign flipped), ~20 flops/pair.
+COULOMB = ForceLaw("coulomb", _coulomb_kernel, flops_per_pair=20.0)
+#: Lennard-Jones 6-12, ~23 flops/pair in 3D.
+LENNARD_JONES = ForceLaw("lennard-jones", _lj_kernel, flops_per_pair=23.0)
+
+
+def _validate_particles(pos: np.ndarray, q: np.ndarray) -> None:
+    if pos.ndim != 2:
+        raise ParameterError(f"positions must be (n, dim), got {pos.shape}")
+    if q.shape != (pos.shape[0],):
+        raise ParameterError(
+            f"charges/masses must be ({pos.shape[0]},), got {q.shape}"
+        )
+
+
+def nbody_serial(
+    pos: np.ndarray, q: np.ndarray, law: ForceLaw = GRAVITY
+) -> np.ndarray:
+    """All-pairs forces on one processor (the correctness reference)."""
+    _validate_particles(pos, q)
+    return law(pos, q, pos, q, True)
+
+
+def nbody_ring(
+    comm: Comm, pos: np.ndarray, q: np.ndarray, law: ForceLaw = GRAVITY
+) -> np.ndarray:
+    """1D ring all-pairs: returns forces on this rank's particle block.
+
+    Rank r owns the r-th contiguous block of particles; source blocks
+    circulate p-1 times around the ring. W per rank = (p-1) * block
+    words — the M = n/p endpoint of the replication range.
+    """
+    _validate_particles(pos, q)
+    p = comm.size
+    r = comm.rank
+    lo, hi = block_ranges(pos.shape[0], p)[r]
+    my_pos = pos[lo:hi].copy()
+    my_q = q[lo:hi].copy()
+    comm.allocate(my_pos.size + my_q.size)
+
+    forces = law(my_pos, my_q, my_pos, my_q, True)
+    comm.add_flops(law.flops_per_pair * len(my_pos) * len(my_pos))
+    travel_pos, travel_q = my_pos, my_q
+    for step in range(1, p):
+        travel_pos = comm.shift(travel_pos, 1, tag=("nbody_pos", step))
+        travel_q = comm.shift(travel_q, 1, tag=("nbody_q", step))
+        forces += law(my_pos, my_q, travel_pos, travel_q, False)
+        comm.add_flops(law.flops_per_pair * len(my_pos) * len(travel_pos))
+    comm.release()
+    return forces
+
+
+def nbody_replicated(
+    comm: Comm,
+    pos: np.ndarray,
+    q: np.ndarray,
+    c: int = 1,
+    law: ForceLaw = GRAVITY,
+) -> np.ndarray | None:
+    """Data-replicating all-pairs forces with replication factor c.
+
+    Parameters
+    ----------
+    comm:
+        Communicator of size p = r * c with c | r (so the ring steps
+        split evenly among team members).
+    pos, q:
+        Global particle positions (n, dim) and masses/charges (n,);
+        the team count r must divide n.
+    c:
+        Replication factor; c = 1 degenerates to :func:`nbody_ring`
+        (modulo the final intra-team reduction, which disappears).
+
+    Returns
+    -------
+    On member-0 ranks of each team: forces on the team's particle
+    block. On other ranks: None.
+    """
+    _validate_particles(pos, q)
+    p = comm.size
+    if c < 1:
+        raise ParameterError(f"replication factor c must be >= 1, got {c}")
+    if p % c:
+        raise ParameterError(f"c={c} must divide p={p}")
+    r = p // c
+    if r % c:
+        raise ParameterError(
+            f"team count r={r} must be divisible by c={c} so each member "
+            f"runs r/c ring steps (got p={p}, c={c})"
+        )
+    n = pos.shape[0]
+    if n % r:
+        raise ParameterError(f"particle count {n} must divide into r={r} blocks")
+
+    grid = CartComm(comm, (r, c), periodic=True)
+    team, member = grid.coords
+    team_ring = grid.sub((True, False))  # same member index, ring over teams
+    team_comm = grid.sub((False, True))  # my team, rank = member
+
+    lo, hi = block_ranges(n, r)[team]
+    my_pos = pos[lo:hi].copy()
+    my_q = q[lo:hi].copy()
+    comm.allocate(my_pos.size + my_q.size)
+
+    # Member m of team i handles source blocks (i + s) mod r for
+    # s = m, m + c, ..., r - c. Align by shifting the sources m steps
+    # around the member's ring, then c steps between rounds.
+    travel_pos, travel_q = my_pos, my_q
+    if member:
+        travel_pos = team_ring.comm.shift(travel_pos, member, tag="align_p")
+        travel_q = team_ring.comm.shift(travel_q, member, tag="align_q")
+
+    forces = np.zeros_like(my_pos)
+    rounds = r // c
+    for rnd in range(rounds):
+        s = member + rnd * c
+        forces += law(my_pos, my_q, travel_pos, travel_q, s == 0)
+        comm.add_flops(law.flops_per_pair * len(my_pos) * len(travel_pos))
+        if rnd < rounds - 1:
+            travel_pos = team_ring.comm.shift(travel_pos, c, tag=("p", rnd))
+            travel_q = team_ring.comm.shift(travel_q, c, tag=("q", rnd))
+
+    total = (
+        team_comm.comm.reduce(forces, root=0, algorithm="reduce_scatter_gather")
+        if c > 1
+        else forces
+    )
+    comm.release()
+    return total if member == 0 else None

@@ -1,0 +1,180 @@
+"""Sequential fast matrix multiplication: Strassen and Strassen-Winograd.
+
+The local building block for CAPS and the reference for its
+correctness: multiplies two n x n matrices in Theta(n^(log2 7)) flops by
+recursively replacing 8 half-size multiplies with 7, at the price of 18
+half-size additions (Strassen's original scheme) or 15 (Winograd's
+variant — the minimum possible for a 7-multiplication bilinear
+algorithm). Both share the exponent omega0 = log2 7 the paper's
+"Strassen-like" analysis uses; the Winograd option quantifies how much
+the lower-order additive constant matters.
+
+``strassen_flop_count`` / ``winograd_flop_count`` give the exact flop
+counts of each recursion, so the simulator's measured F can be asserted
+to match analytically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "strassen_matmul",
+    "strassen_flop_count",
+    "winograd_matmul",
+    "winograd_flop_count",
+    "DEFAULT_CUTOFF",
+]
+
+#: Below this order the recursion bottoms out on a classical multiply.
+DEFAULT_CUTOFF: int = 32
+
+
+def strassen_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    cutoff: int = DEFAULT_CUTOFF,
+    flop_counter=None,
+) -> np.ndarray:
+    """C = A @ B via Strassen's recursion.
+
+    Parameters
+    ----------
+    a, b:
+        Square matrices of equal order; the order must stay even at
+        every recursion level above the cutoff (powers of two times a
+        small odd factor >= cutoff always work).
+    cutoff:
+        Orders <= cutoff multiply classically (2 n^3 flops).
+    flop_counter:
+        Optional callable receiving exact flop counts (e.g.
+        ``comm.add_flops``).
+    """
+    if a.ndim != 2 or a.shape[0] != a.shape[1] or a.shape != b.shape:
+        raise ParameterError(
+            f"need equal square operands, got {a.shape} and {b.shape}"
+        )
+    if cutoff < 1:
+        raise ParameterError(f"cutoff must be >= 1, got {cutoff}")
+    count = flop_counter if flop_counter is not None else (lambda _: None)
+    return _strassen(a, b, cutoff, count)
+
+
+def _strassen(a, b, cutoff, count):
+    n = a.shape[0]
+    if n <= cutoff or n % 2:
+        if n % 2 and n > cutoff:
+            raise ParameterError(
+                f"odd matrix order {n} above cutoff {cutoff}; "
+                "pad to an even order or raise the cutoff"
+            )
+        count(2.0 * n * n * n)
+        return a @ b
+    h = n // 2
+    a11, a12, a21, a22 = a[:h, :h], a[:h, h:], a[h:, :h], a[h:, h:]
+    b11, b12, b21, b22 = b[:h, :h], b[:h, h:], b[h:, :h], b[h:, h:]
+    hh = float(h * h)
+
+    # 10 operand combinations: 10 h^2 adds.
+    count(10.0 * hh)
+    m1 = _strassen(a11 + a22, b11 + b22, cutoff, count)
+    m2 = _strassen(a21 + a22, b11, cutoff, count)
+    m3 = _strassen(a11, b12 - b22, cutoff, count)
+    m4 = _strassen(a22, b21 - b11, cutoff, count)
+    m5 = _strassen(a11 + a12, b22, cutoff, count)
+    m6 = _strassen(a21 - a11, b11 + b12, cutoff, count)
+    m7 = _strassen(a12 - a22, b21 + b22, cutoff, count)
+
+    # 8 output combinations: 8 h^2 adds.
+    count(8.0 * hh)
+    c = np.empty((n, n), dtype=m1.dtype)
+    c[:h, :h] = m1 + m4 - m5 + m7
+    c[:h, h:] = m3 + m5
+    c[h:, :h] = m2 + m4
+    c[h:, h:] = m1 - m2 + m3 + m6
+    return c
+
+
+def strassen_flop_count(n: int, cutoff: int = DEFAULT_CUTOFF) -> float:
+    """Exact flops :func:`strassen_matmul` performs for order n."""
+    if n <= cutoff or n % 2:
+        return 2.0 * n**3
+    h = n // 2
+    return 18.0 * h * h + 7.0 * strassen_flop_count(h, cutoff)
+
+
+def winograd_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    cutoff: int = DEFAULT_CUTOFF,
+    flop_counter=None,
+) -> np.ndarray:
+    """C = A @ B via the Strassen-Winograd recursion (15 adds/level).
+
+    Same interface and exponent as :func:`strassen_matmul`; 15 rather
+    than 18 half-size additions per level — the fewest possible for any
+    7-multiplication scheme.
+    """
+    if a.ndim != 2 or a.shape[0] != a.shape[1] or a.shape != b.shape:
+        raise ParameterError(
+            f"need equal square operands, got {a.shape} and {b.shape}"
+        )
+    if cutoff < 1:
+        raise ParameterError(f"cutoff must be >= 1, got {cutoff}")
+    count = flop_counter if flop_counter is not None else (lambda _: None)
+    return _winograd(a, b, cutoff, count)
+
+
+def _winograd(a, b, cutoff, count):
+    n = a.shape[0]
+    if n <= cutoff or n % 2:
+        if n % 2 and n > cutoff:
+            raise ParameterError(
+                f"odd matrix order {n} above cutoff {cutoff}; "
+                "pad to an even order or raise the cutoff"
+            )
+        count(2.0 * n * n * n)
+        return a @ b
+    h = n // 2
+    a11, a12, a21, a22 = a[:h, :h], a[:h, h:], a[h:, :h], a[h:, h:]
+    b11, b12, b21, b22 = b[:h, :h], b[:h, h:], b[h:, :h], b[h:, h:]
+    hh = float(h * h)
+
+    count(8.0 * hh)  # 4 S- and 4 T-combinations
+    s1 = a21 + a22
+    s2 = s1 - a11
+    s3 = a11 - a21
+    s4 = a12 - s2
+    t1 = b12 - b11
+    t2 = b22 - t1
+    t3 = b22 - b12
+    t4 = t2 - b21
+
+    m1 = _winograd(a11, b11, cutoff, count)
+    m2 = _winograd(a12, b21, cutoff, count)
+    m3 = _winograd(s4, b22, cutoff, count)
+    m4 = _winograd(a22, t4, cutoff, count)
+    m5 = _winograd(s1, t1, cutoff, count)
+    m6 = _winograd(s2, t2, cutoff, count)
+    m7 = _winograd(s3, t3, cutoff, count)
+
+    count(7.0 * hh)  # 7 U-combinations
+    u2 = m1 + m6
+    u3 = u2 + m7
+    u4 = u2 + m5
+    c = np.empty((n, n), dtype=m1.dtype)
+    c[:h, :h] = m1 + m2
+    c[:h, h:] = u4 + m3
+    c[h:, :h] = u3 - m4
+    c[h:, h:] = u3 + m5
+    return c
+
+
+def winograd_flop_count(n: int, cutoff: int = DEFAULT_CUTOFF) -> float:
+    """Exact flops :func:`winograd_matmul` performs for order n."""
+    if n <= cutoff or n % 2:
+        return 2.0 * n**3
+    h = n // 2
+    return 15.0 * h * h + 7.0 * winograd_flop_count(h, cutoff)

@@ -1,0 +1,62 @@
+"""Figure/table series generators and measured-vs-analytic validation."""
+
+from repro.analysis.figures import (
+    figure3_series,
+    figure4_series,
+    figure6_series,
+    figure7_series,
+)
+from repro.analysis.asciiplot import line_plot, region_plot
+from repro.analysis.breakdown import (
+    TERMS,
+    dominance_boundary,
+    dominant_term_map,
+    energy_breakdown_fractions,
+)
+from repro.analysis.frontier import CostModelFrontier, FrontierGrid, NBodyFrontier
+from repro.analysis.report import generate_report
+from repro.analysis.tables import (
+    render_scaling_points,
+    render_series,
+    render_table,
+    render_table1,
+    render_table2,
+)
+from repro.analysis.validation import (
+    ScalingPoint,
+    measure_matmul_comparison,
+    measure_caps_bandwidth,
+    measure_fft_tradeoff,
+    measure_lu_latency,
+    measure_strong_scaling_matmul,
+    measure_strong_scaling_nbody,
+)
+
+__all__ = [
+    "figure3_series",
+    "figure4_series",
+    "figure6_series",
+    "figure7_series",
+    "NBodyFrontier",
+    "FrontierGrid",
+    "ScalingPoint",
+    "measure_strong_scaling_matmul",
+    "measure_strong_scaling_nbody",
+    "measure_caps_bandwidth",
+    "measure_fft_tradeoff",
+    "measure_lu_latency",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_scaling_points",
+    "render_series",
+    "generate_report",
+    "CostModelFrontier",
+    "line_plot",
+    "TERMS",
+    "dominance_boundary",
+    "dominant_term_map",
+    "energy_breakdown_fractions",
+    "measure_matmul_comparison",
+    "region_plot",
+]

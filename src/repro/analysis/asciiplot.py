@@ -1,0 +1,181 @@
+"""Terminal plotting — render the paper's figures without matplotlib.
+
+Two primitives cover everything the figures need:
+
+* :func:`line_plot` — multi-series scatter/line chart on linear or log
+  axes, drawn with per-series glyphs into a character grid.
+* :func:`region_plot` — Fig. 4-style layered region map: later layers
+  overdraw earlier ones; the wedge/budget masks from
+  :mod:`repro.analysis.frontier` plug in directly.
+
+Both return plain strings (testable, pipeable); the CLI's ``--plot``
+flags and the examples use them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["line_plot", "region_plot"]
+
+_GLYPHS = "*o+x#@%&"
+
+
+def _scale(values: np.ndarray, log: bool) -> np.ndarray:
+    if log:
+        if np.any(values <= 0):
+            raise ParameterError("log axis requires strictly positive values")
+        return np.log10(values)
+    return values.astype(float)
+
+
+def _axis_ticks(lo: float, hi: float, log: bool, count: int = 4) -> list[str]:
+    xs = np.linspace(lo, hi, count)
+    if log:
+        return [f"{10**x:.3g}" for x in xs]
+    return [f"{x:.3g}" for x in xs]
+
+
+def line_plot(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    x_label: str = "x",
+) -> str:
+    """Plot named series against a shared x axis as a character grid.
+
+    NaNs in a series are skipped (used by region boundaries that leave
+    the plotted window).
+    """
+    if width < 8 or height < 4:
+        raise ParameterError("plot must be at least 8x4 characters")
+    if not series:
+        raise ParameterError("need at least one series")
+    x = np.asarray(x, dtype=float)
+    sx = _scale(x, logx)
+
+    all_y = np.concatenate(
+        [np.asarray(v, dtype=float)[np.isfinite(v)] for v in series.values()]
+    )
+    if all_y.size == 0:
+        raise ParameterError("all series are empty/NaN")
+    if logy:
+        all_y = all_y[all_y > 0]
+        if all_y.size == 0:
+            raise ParameterError("log-y plot needs positive values")
+    y_lo, y_hi = float(np.min(_scale(all_y, logy))), float(
+        np.max(_scale(all_y, logy))
+    )
+    x_lo, x_hi = float(np.min(sx)), float(np.max(sx))
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, values) in enumerate(series.items()):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        v = np.asarray(values, dtype=float)
+        for xi, yi in zip(sx, v):
+            if not np.isfinite(yi) or (logy and yi <= 0):
+                continue
+            syi = math.log10(yi) if logy else yi
+            col = int(round((xi - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((syi - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_ticks = _axis_ticks(y_lo, y_hi, logy, count=height)
+    for r, row in enumerate(grid):
+        label = y_ticks[height - 1 - r] if r in (0, height // 2, height - 1) else ""
+        lines.append(f"{label:>10s} |{''.join(row)}|")
+    x_ticks = _axis_ticks(x_lo, x_hi, logx, count=4)
+    lines.append(" " * 12 + "-" * width)
+    tick_line = " " * 12
+    positions = np.linspace(0, width - len(x_ticks[-1]), len(x_ticks)).astype(int)
+    buf = [" "] * (width + 12)
+    for pos, t in zip(positions, x_ticks):
+        for i, ch in enumerate(t):
+            if 12 + pos + i < len(buf):
+                buf[12 + pos + i] = ch
+    lines.append("".join(buf).rstrip() + f"   [{x_label}]")
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def region_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    layers: dict[str, np.ndarray],
+    width: int = 64,
+    height: int = 22,
+    logx: bool = True,
+    logy: bool = True,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Layered boolean masks over an (x, y) grid, Fig. 4 style.
+
+    ``layers`` maps label -> mask of shape (len(y), len(x)); later
+    entries overdraw earlier ones. Each layer's glyph is its label's
+    first character.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    for name, mask in layers.items():
+        if mask.shape != (len(y), len(x)):
+            raise ParameterError(
+                f"layer {name!r} has shape {mask.shape}, expected "
+                f"({len(y)}, {len(x)})"
+            )
+    sx, sy = _scale(x, logx), _scale(y, logy)
+    x_lo, x_hi = float(sx.min()), float(sx.max())
+    y_lo, y_hi = float(sy.min()), float(sy.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, mask in layers.items():
+        glyph = name[0]
+        ys, xs = np.nonzero(mask)
+        for yi, xi in zip(ys, xs):
+            col = int(round((sx[xi] - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((sy[yi] - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_ticks = _axis_ticks(y_lo, y_hi, logy, count=height)
+    for r, row in enumerate(grid):
+        label = y_ticks[height - 1 - r] if r in (0, height // 2, height - 1) else ""
+        lines.append(f"{label:>10s} |{''.join(row)}|")
+    lines.append(" " * 12 + "-" * width)
+    x_ticks = _axis_ticks(x_lo, x_hi, logx, count=4)
+    buf = [" "] * (width + 12)
+    positions = np.linspace(0, width - len(x_ticks[-1]), len(x_ticks)).astype(int)
+    for pos, t in zip(positions, x_ticks):
+        for i, ch in enumerate(t):
+            if 12 + pos + i < len(buf):
+                buf[12 + pos + i] = ch
+    lines.append("".join(buf).rstrip() + f"   [{x_label}]")
+    legend = "  ".join(f"{name[0]} = {name}" for name in layers)
+    lines.append(" " * 12 + legend + f"   (y = {y_label})")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Regime maps — which Eq. (2) term pays the bill, where.
+
+Section VI's conclusions ("it benefits to target energy efficiency
+improvements to components that benefit the system as a whole") are
+statements about which energy term *dominates*. This module makes the
+dominance structure a first-class object:
+
+* :func:`energy_breakdown_fractions` — the five Eq.-2 term shares at one
+  operating point.
+* :func:`dominant_term_map` — the dominant term over an (n, M) grid:
+  the "regime map" whose boundaries are exactly where parameter-scaling
+  curves like Fig. 6 change slope.
+* :func:`dominance_boundary` — the M at which two chosen terms balance,
+  for fixed n (e.g. the compute/memory boundary that saturates the
+  gamma_e-only scaling at M0-like points).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.costs import AlgorithmCosts
+from repro.core.energy import EnergyBreakdown, energy
+from repro.core.parameters import MachineParameters
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "energy_breakdown_fractions",
+    "dominant_term_map",
+    "dominance_boundary",
+    "TERMS",
+]
+
+#: The five Eq. (2) components, in breakdown order.
+TERMS: tuple[str, ...] = ("compute", "bandwidth", "latency", "memory", "leakage")
+
+
+def _breakdown_at(
+    costs: AlgorithmCosts, machine: MachineParameters, n: float, M: float
+) -> EnergyBreakdown:
+    M = min(M, machine.memory_words, costs.memory_min(n, 1.0))
+    p = max(1.0, costs.p_min(n, M))
+    return energy(costs, machine, n, p, M)
+
+
+def energy_breakdown_fractions(
+    costs: AlgorithmCosts,
+    machine: MachineParameters,
+    n: float,
+    M: float,
+) -> dict[str, float]:
+    """Share of each Eq.-2 term in the total energy at (n, M) (evaluated
+    at the one-copy processor count; shares are p-free inside the
+    perfect-scaling range). Sums to 1."""
+    if n <= 0 or M <= 0:
+        raise ParameterError("n and M must be > 0")
+    b = _breakdown_at(costs, machine, n, M)
+    total = b.total
+    if total <= 0:
+        raise ParameterError("zero total energy; no meaningful breakdown")
+    return {
+        "compute": b.compute / total,
+        "bandwidth": b.bandwidth / total,
+        "latency": b.latency / total,
+        "memory": b.memory / total,
+        "leakage": b.leakage / total,
+    }
+
+
+def dominant_term_map(
+    costs: AlgorithmCosts,
+    machine: MachineParameters,
+    n_values: Sequence[float],
+    m_values: Sequence[float],
+) -> np.ndarray:
+    """The dominant Eq.-2 term over an (n, M) grid.
+
+    Returns an object array of term names, shape (len(m_values),
+    len(n_values)) — the regime map. Crossing a boundary in this map is
+    what makes Figs. 6's one-parameter scalings saturate.
+    """
+    n_values = np.asarray(n_values, dtype=float)
+    m_values = np.asarray(m_values, dtype=float)
+    if np.any(n_values <= 0) or np.any(m_values <= 0):
+        raise ParameterError("grid axes must be positive")
+    out = np.empty((len(m_values), len(n_values)), dtype=object)
+    for mi, M in enumerate(m_values):
+        for ni, n in enumerate(n_values):
+            out[mi, ni] = _breakdown_at(costs, machine, n, M).dominant_term()
+    return out
+
+
+def dominance_boundary(
+    costs: AlgorithmCosts,
+    machine: MachineParameters,
+    n: float,
+    term_low_m: str,
+    term_high_m: str,
+    m_lo: float = 1.0,
+    m_hi: float | None = None,
+) -> float:
+    """The M where ``term_low_m``'s share stops exceeding
+    ``term_high_m``'s (bisection in log M).
+
+    Typical call: the bandwidth/memory boundary of matmul — below it
+    communication energy dominates the delta_e M T term, above it the
+    powered memory does; the energy-optimal M* sits on it when the
+    constant terms are small.
+    """
+    for t in (term_low_m, term_high_m):
+        if t not in TERMS:
+            raise ParameterError(f"unknown term {t!r}; expected one of {TERMS}")
+    if m_hi is None:
+        m_hi = min(machine.memory_words, costs.memory_min(n, 1.0))
+    if not 0 < m_lo < m_hi:
+        raise ParameterError(f"need 0 < m_lo < m_hi, got {m_lo!r}, {m_hi!r}")
+
+    def gap(M: float) -> float:
+        f = energy_breakdown_fractions(costs, machine, n, M)
+        return f[term_low_m] - f[term_high_m]
+
+    g_lo, g_hi = gap(m_lo), gap(m_hi)
+    if g_lo <= 0 or g_hi >= 0:
+        raise ParameterError(
+            f"no {term_low_m}->{term_high_m} crossover in [{m_lo:g}, {m_hi:g}] "
+            f"(gaps {g_lo:+.3g} -> {g_hi:+.3g})"
+        )
+    lo, hi = m_lo, m_hi
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)
+        if gap(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return math.sqrt(lo * hi)

@@ -1,0 +1,157 @@
+"""Series generators — one per paper figure.
+
+Each ``figureN_series`` function returns a plain dict of NumPy arrays /
+floats containing exactly the data the corresponding paper figure
+plots; the bench harness prints these as rows, tests assert their
+qualitative shape (who is flat, who rises, where the knees fall), and a
+plotting front-end could render them 1:1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.frontier import NBodyFrontier
+from repro.core.costs import OMEGA_STRASSEN
+from repro.core.optimize import NBodyOptimizer
+from repro.core.parameters import MachineParameters
+from repro.core.scaling import bandwidth_cost_times_p, saturation_p
+from repro.exceptions import ParameterError
+from repro.machines.casestudy import (
+    CASE_STUDY_N,
+    scale_parameters_independently,
+    scale_parameters_jointly,
+)
+from repro.machines.catalog import JAKETOWN
+
+__all__ = [
+    "figure3_series",
+    "figure4_series",
+    "figure6_series",
+    "figure7_series",
+]
+
+
+def figure3_series(
+    n: float,
+    memory_cap: float,
+    p_points: int = 64,
+    p_span: float = 64.0,
+) -> dict[str, np.ndarray | float]:
+    """Fig. 3 — limits of communication strong scaling.
+
+    Plots (bandwidth cost x p) against p for classical (omega0 = 3) and
+    Strassen-like (omega0 = log2 7) matmul, from the minimum processor
+    count p_min = n^2 / memory_cap up to ``p_span`` times beyond it.
+    Inside the perfect range the curve is flat; past the knee at
+    p = n^omega0 / M^(omega0/2) it grows as p^(1 - 2/omega0). The
+    Strassen knee comes earlier (p_min^(omega0/2) < p_min^(3/2)) — the
+    paper's point that fast matmul stops scaling sooner.
+    """
+    if n <= 0 or memory_cap <= 0:
+        raise ParameterError("n and memory_cap must be > 0")
+    p_min = n**2 / memory_cap
+    p = np.geomspace(p_min, p_min * p_span, p_points)
+    classical = np.array(
+        [bandwidth_cost_times_p(n, pi, memory_cap, omega0=3.0) for pi in p]
+    )
+    strassen = np.array(
+        [bandwidth_cost_times_p(n, pi, memory_cap, omega0=OMEGA_STRASSEN) for pi in p]
+    )
+    return {
+        "p": p,
+        "classical": classical,
+        "strassen": strassen,
+        "p_min": p_min,
+        "knee_classical": saturation_p(n, memory_cap, omega0=3.0),
+        "knee_strassen": saturation_p(n, memory_cap, omega0=OMEGA_STRASSEN),
+    }
+
+
+def figure4_series(
+    machine: MachineParameters,
+    n: float,
+    interaction_flops: float = 1.0,
+    p_points: int = 48,
+    m_points: int = 48,
+    time_contours: int = 5,
+    energy_budget_factor: float = 1.5,
+    time_budget_factor: float = 4.0,
+    proc_power_factor: float = 1.2,
+    total_power_factor: float = 8.0,
+) -> dict[str, object]:
+    """Fig. 4(a)-(c) — n-body execution regions on a (p, M) grid.
+
+    Budgets are expressed as multiples of natural reference points so the
+    regions are non-trivial for any machine: the energy budget is
+    ``energy_budget_factor x E*``; the time budget is
+    ``time_budget_factor x T_fastest``; the per-processor power budget is
+    ``proc_power_factor x P1(M0)``; the total power budget is
+    ``total_power_factor x`` the power of the smallest feasible machine.
+    """
+    opt = NBodyOptimizer(machine, interaction_flops=interaction_flops)
+    fr = NBodyFrontier(opt, n)
+    p_lo = max(1.0, opt.p_range_at_optimal_memory(n)[0] / 4.0)
+    p_hi = opt.p_range_at_optimal_memory(n)[1] * 4.0
+    p = np.geomspace(p_lo, p_hi, p_points)
+    m_lo = n / p_hi
+    m_hi = min(n, machine.memory_words)
+    M = np.geomspace(m_lo, m_hi, m_points)
+    grid = fr.grid(p, M)
+
+    M0 = opt.optimal_memory()
+    e_star = opt.min_energy(n)
+    t_fast = opt.min_runtime(n, p_hi).time
+    t_slow = opt.time(n, p_lo, max(n / p_lo, m_lo))
+    contours = {
+        f"T={t:.3g}s": fr.time_contour(p, t)
+        for t in np.geomspace(t_fast * 2, t_slow, time_contours)
+    }
+
+    e_max = energy_budget_factor * e_star
+    t_max = time_budget_factor * t_fast
+    p1_at_m0 = opt.processor_power(M0)
+    proc_cap = proc_power_factor * p1_at_m0
+    total_cap = total_power_factor * p_lo * p1_at_m0
+
+    return {
+        "p": p,
+        "M": M,
+        "grid": grid,
+        "min_energy_line": fr.min_energy_line(p),
+        "time_contours": contours,
+        "M0": M0,
+        "E_star": e_star,
+        "energy_budget": e_max,
+        "energy_budget_region": fr.energy_budget_region(grid, e_max),
+        "time_budget": t_max,
+        "time_budget_region": fr.time_budget_region(grid, t_max),
+        "proc_power_budget": proc_cap,
+        "proc_power_region": fr.proc_power_region(grid, proc_cap),
+        "total_power_budget": total_cap,
+        "total_power_region": fr.total_power_region(grid, total_cap),
+    }
+
+
+def figure6_series(
+    generations: int = 8,
+    machine: MachineParameters = JAKETOWN,
+    n: int = CASE_STUDY_N,
+) -> dict[str, list[float]]:
+    """Fig. 6 — GFLOPS/W scaling gamma_e, beta_e, delta_e independently."""
+    return scale_parameters_independently(generations, machine, n)
+
+
+def figure7_series(
+    generations: int = 8,
+    machine: MachineParameters = JAKETOWN,
+    n: int = CASE_STUDY_N,
+) -> dict[str, object]:
+    """Fig. 7 — GFLOPS/W scaling all three parameters together."""
+    series = scale_parameters_jointly(generations, machine, n)
+    crossing = next(
+        (g for g, v in enumerate(series) if v >= 75.0), math.inf
+    )
+    return {"joint": series, "first_generation_at_75": crossing}

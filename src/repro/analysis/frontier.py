@@ -1,0 +1,241 @@
+"""Fig. 4 — the (p, M) execution plane of the replicated n-body algorithm.
+
+Each subfigure of Fig. 4 is a region of admissible executions for a
+fixed n:
+
+* the *feasible wedge* between the 1D limit M = n/p and the 2D limit
+  M = n/sqrt(p) (thick red lines in the paper);
+* 4(a): energy (independent of p, minimized on the M = M0 line) and
+  equally spaced constant-runtime contours;
+* 4(b): the sub-regions satisfying an energy budget (E(M) <= Emax — a
+  horizontal band in M) and a per-processor power budget (M <= cap);
+* 4(c): the sub-regions satisfying a runtime cap (T(p, M) <= Tmax) and
+  a total power budget (p * P1(M) <= Ptot), plus the minimum-energy run
+  line.
+
+Everything is returned as NumPy arrays/masks over a caller-supplied
+(p, M) grid so the bench harness can print the same series the paper
+plots (and a plotting front-end could render them directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.costs import AlgorithmCosts
+from repro.core.energy import energy as _energy
+from repro.core.optimize import NBodyOptimizer
+from repro.core.timing import runtime as _runtime
+from repro.exceptions import InfeasibleError, ParameterError
+
+__all__ = ["NBodyFrontier", "FrontierGrid", "CostModelFrontier"]
+
+
+@dataclass(frozen=True)
+class FrontierGrid:
+    """A rectangular (p, M) evaluation grid with derived fields.
+
+    Attributes
+    ----------
+    p, M:
+        1-D axes.
+    feasible:
+        (len(M), len(p)) mask of the wedge n/p <= M <= n/sqrt(p).
+    energy:
+        E(n, M) broadcast over the grid (NaN outside the wedge).
+    time:
+        T(n, p, M) over the grid (NaN outside the wedge).
+    """
+
+    p: np.ndarray
+    M: np.ndarray
+    feasible: np.ndarray
+    energy: np.ndarray
+    time: np.ndarray
+
+
+class NBodyFrontier:
+    """Region calculator for Fig. 4 at fixed problem size n."""
+
+    def __init__(self, optimizer: NBodyOptimizer, n: float):
+        if n <= 0:
+            raise ParameterError(f"n must be > 0, got {n!r}")
+        self.opt = optimizer
+        self.n = float(n)
+
+    # -- the wedge -------------------------------------------------------
+
+    def memory_limits(self, p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(M_1D, M_2D) = (n/p, n/sqrt(p)) — the thick red lines."""
+        p = np.asarray(p, dtype=float)
+        return self.n / p, self.n / np.sqrt(p)
+
+    def grid(self, p: np.ndarray, M: np.ndarray) -> FrontierGrid:
+        """Evaluate energy/time over a (p, M) grid, masking the wedge."""
+        p = np.asarray(p, dtype=float)
+        M = np.asarray(M, dtype=float)
+        if np.any(p <= 0) or np.any(M <= 0):
+            raise ParameterError("grid axes must be positive")
+        P, MM = np.meshgrid(p, M)
+        lo = self.n / P
+        hi = self.n / np.sqrt(P)
+        feasible = (MM >= lo) & (MM <= hi)
+
+        A, B, Dm = self.opt.A, self.opt.B, self.opt.Dm
+        energy = self.n**2 * (A + B / MM + Dm * MM)
+        g = self.opt.machine
+        time = self.n**2 * (g.gamma_t * self.opt.f + self.opt.bt_eff / MM) / P
+        energy = np.where(feasible, energy, np.nan)
+        time = np.where(feasible, time, np.nan)
+        return FrontierGrid(p=p, M=M, feasible=feasible, energy=energy, time=time)
+
+    # -- Fig. 4(a) ---------------------------------------------------------
+
+    def min_energy_line(self, p: np.ndarray) -> np.ndarray:
+        """M0 where admissible, NaN elsewhere (the green line)."""
+        p = np.asarray(p, dtype=float)
+        M0 = self.opt.optimal_memory()
+        lo, hi = self.memory_limits(p)
+        return np.where((M0 >= lo) & (M0 <= hi), M0, np.nan)
+
+    def time_contour(self, p: np.ndarray, t_value: float) -> np.ndarray:
+        """The M(p) curve of constant runtime t_value (NaN off-wedge).
+
+        From T = n^2 (gt f + bt'/M)/p: M = bt' / (T p / n^2 - gt f).
+        """
+        if t_value <= 0:
+            raise ParameterError(f"t_value must be > 0, got {t_value!r}")
+        p = np.asarray(p, dtype=float)
+        g = self.opt.machine
+        denom = t_value * p / self.n**2 - g.gamma_t * self.opt.f
+        with np.errstate(divide="ignore", invalid="ignore"):
+            M = np.where(denom > 0, self.opt.bt_eff / denom, np.nan)
+        lo, hi = self.memory_limits(p)
+        return np.where((M >= lo) & (M <= hi), M, np.nan)
+
+    # -- Fig. 4(b) ---------------------------------------------------------
+
+    def energy_budget_region(self, grid: FrontierGrid, e_max: float) -> np.ndarray:
+        """Mask of feasible runs with E <= e_max (a horizontal M-band)."""
+        if e_max <= 0:
+            raise ParameterError(f"e_max must be > 0, got {e_max!r}")
+        with np.errstate(invalid="ignore"):
+            return grid.feasible & (grid.energy <= e_max)
+
+    def proc_power_region(self, grid: FrontierGrid, p_max_watts: float) -> np.ndarray:
+        """Mask of feasible runs whose per-processor power meets the cap.
+
+        Per-processor power depends only on M (Section V-E), so this is
+        M <= M_cap intersected with the wedge; infeasible caps give an
+        empty mask.
+        """
+        try:
+            m_cap = self.opt.max_memory_given_proc_power(p_max_watts)
+        except InfeasibleError:
+            return np.zeros_like(grid.feasible)
+        P, MM = np.meshgrid(grid.p, grid.M)
+        return grid.feasible & (MM <= m_cap)
+
+    # -- Fig. 4(c) ---------------------------------------------------------
+
+    def time_budget_region(self, grid: FrontierGrid, t_max: float) -> np.ndarray:
+        """Mask of feasible runs with T <= t_max (the crosshatched region)."""
+        if t_max <= 0:
+            raise ParameterError(f"t_max must be > 0, got {t_max!r}")
+        with np.errstate(invalid="ignore"):
+            return grid.feasible & (grid.time <= t_max)
+
+    def total_power_region(self, grid: FrontierGrid, total_watts: float) -> np.ndarray:
+        """Mask of feasible runs with p * P1(M) <= total_watts (magenta)."""
+        if total_watts <= 0:
+            raise ParameterError(f"total_watts must be > 0, got {total_watts!r}")
+        P, MM = np.meshgrid(grid.p, grid.M)
+        p1 = np.vectorize(self.opt.processor_power)(MM)
+        return grid.feasible & (P * p1 <= total_watts)
+
+    # -- headline corner points ---------------------------------------------
+
+    def best_under_time(self, t_max: float):
+        """Min-energy run meeting a deadline (top-left corner of 4(c))."""
+        return self.opt.min_energy_given_runtime(self.n, t_max)
+
+    def best_under_energy(self, e_max: float):
+        """Min-time run within an energy budget (bottom-right of 4(b))."""
+        return self.opt.min_runtime_given_energy(self.n, e_max)
+
+
+class CostModelFrontier:
+    """Fig.-4-style (p, M) maps for *any* data-replicating cost model.
+
+    The companion tech report extends Fig. 4's analysis from n-body to
+    classical and Strassen matmul; this class is that generalization:
+    the feasible wedge comes from the cost model's ``memory_min`` /
+    ``memory_max``, energy and time from the generic Eq. (1)/(2)
+    evaluators. (For n-body, :class:`NBodyFrontier` remains the
+    closed-form fast path; tests check the two agree.)
+    """
+
+    def __init__(self, costs: AlgorithmCosts, machine, n: float):
+        if n <= 0:
+            raise ParameterError(f"n must be > 0, got {n!r}")
+        self.costs = costs
+        self.machine = machine
+        self.n = float(n)
+
+    def memory_limits(self, p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(M_min, M_max) per p — the wedge boundaries."""
+        p = np.asarray(p, dtype=float)
+        lo = np.array([self.costs.memory_min(self.n, pi) for pi in p])
+        hi = np.array(
+            [
+                min(self.costs.memory_max(self.n, pi), self.machine.memory_words)
+                for pi in p
+            ]
+        )
+        return lo, hi
+
+    def grid(self, p: np.ndarray, M: np.ndarray) -> FrontierGrid:
+        """Evaluate energy/time over a (p, M) grid, masking the wedge."""
+        p = np.asarray(p, dtype=float)
+        M = np.asarray(M, dtype=float)
+        if np.any(p <= 0) or np.any(M <= 0):
+            raise ParameterError("grid axes must be positive")
+        lo, hi = self.memory_limits(p)
+        P, MM = np.meshgrid(p, M)
+        feasible = (MM >= lo[None, :]) & (MM <= hi[None, :])
+        energy = np.full_like(MM, np.nan)
+        time = np.full_like(MM, np.nan)
+        for mi in range(MM.shape[0]):
+            for pi in range(MM.shape[1]):
+                if not feasible[mi, pi]:
+                    continue
+                energy[mi, pi] = _energy(
+                    self.costs, self.machine, self.n, P[mi, pi], MM[mi, pi]
+                ).total
+                time[mi, pi] = _runtime(
+                    self.costs, self.machine, self.n, P[mi, pi], MM[mi, pi]
+                ).total
+        return FrontierGrid(p=p, M=M, feasible=feasible, energy=energy, time=time)
+
+    def energy_budget_region(self, grid: FrontierGrid, e_max: float) -> np.ndarray:
+        """Feasible runs with E <= e_max."""
+        if e_max <= 0:
+            raise ParameterError(f"e_max must be > 0, got {e_max!r}")
+        with np.errstate(invalid="ignore"):
+            return grid.feasible & (grid.energy <= e_max)
+
+    def time_budget_region(self, grid: FrontierGrid, t_max: float) -> np.ndarray:
+        """Feasible runs with T <= t_max."""
+        if t_max <= 0:
+            raise ParameterError(f"t_max must be > 0, got {t_max!r}")
+        with np.errstate(invalid="ignore"):
+            return grid.feasible & (grid.time <= t_max)
+
+    def total_power_region(self, grid: FrontierGrid, total_watts: float) -> np.ndarray:
+        """Feasible runs with E/T <= total_watts."""
+        if total_watts <= 0:
+            raise ParameterError(f"total_watts must be > 0, got {total_watts!r}")
+        with np.errstate(invalid="ignore"):
+            return grid.feasible & (grid.energy / grid.time <= total_watts)

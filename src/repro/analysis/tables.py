@@ -1,0 +1,127 @@
+"""Plain-text renderers for the paper's tables and our experiment rows.
+
+The benchmark harness prints through these so every ``bench_*`` target
+emits the same rows/series the paper reports, ready for side-by-side
+comparison in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.validation import ScalingPoint
+from repro.machines.catalog import JAKETOWN_SPEC, PROCESSOR_TABLE, ProcessorSpec
+
+__all__ = [
+    "render_table",
+    "render_table2",
+    "render_table1",
+    "render_scaling_points",
+    "render_series",
+]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e4 or abs(v) < 1e-2:
+            return f"{v:.4g}"
+        return f"{v:.4f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def render_table2(specs: Sequence[ProcessorSpec] = PROCESSOR_TABLE) -> str:
+    """Table II: derived peak FP, gamma_t, gamma_e, GFLOPS/W per device."""
+    rows = [
+        (
+            s.name,
+            s.freq_ghz,
+            s.cores,
+            s.simd,
+            s.tdp_watts,
+            s.peak_gflops,
+            s.gamma_t,
+            s.gamma_e,
+            s.gflops_per_watt,
+        )
+        for s in specs
+    ]
+    return render_table(
+        [
+            "Processor",
+            "Freq(GHz)",
+            "Cores",
+            "SIMD",
+            "TDP(W)",
+            "Peak FP",
+            "gamma_t(s/flop)",
+            "gamma_e(J/flop)",
+            "GFLOPS/W",
+        ],
+        rows,
+        title="Table II — example machine parameters (derived from inputs)",
+    )
+
+
+def render_table1() -> str:
+    """Table I: case-study parameter inputs."""
+    rows = [(k, v) for k, v in JAKETOWN_SPEC.items()]
+    return render_table(
+        ["Parameter", "Value"], rows, title="Table I — case study parameters"
+    )
+
+
+def render_scaling_points(points: Sequence[ScalingPoint], title: str = "") -> str:
+    """Measured sweep rows (validation experiments)."""
+    rows = [
+        (
+            pt.label,
+            pt.p,
+            pt.c,
+            pt.max_words,
+            pt.max_messages,
+            pt.total_flops,
+            pt.est_time,
+            pt.est_energy,
+        )
+        for pt in points
+    ]
+    return render_table(
+        ["run", "p", "c", "W/rank", "S/rank", "F total", "T est (s)", "E est (J)"],
+        rows,
+        title=title,
+    )
+
+
+def render_series(
+    x_name: str,
+    x_values: Sequence[object],
+    columns: dict[str, Sequence[object]],
+    title: str = "",
+) -> str:
+    """Aligned multi-column series (figure data)."""
+    headers = [x_name, *columns.keys()]
+    rows = [
+        [x, *(col[i] for col in columns.values())] for i, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title)

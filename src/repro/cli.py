@@ -1,0 +1,262 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+    python -m repro table1          # Table I inputs + derived constants
+    python -m repro table2          # Table II device survey
+    python -m repro fig3            # strong-scaling limits series
+    python -m repro fig4            # n-body (p, M) frontier summary
+    python -m repro fig6            # independent parameter scaling
+    python -m repro fig7            # joint parameter scaling
+    python -m repro validate        # measured-vs-model sweeps (simulator)
+    python -m repro questions       # Section V answers on Table I
+
+Everything prints the same rows the benchmark harness persists under
+``benchmarks/results/`` — the CLI is the interactive face of the same
+generators.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_table1(_args) -> None:
+    from repro.analysis.tables import render_table1
+
+    print(render_table1())
+
+
+def _cmd_table2(_args) -> None:
+    from repro.analysis.tables import render_table2
+
+    print(render_table2())
+
+
+def _cmd_fig3(args) -> None:
+    from repro.analysis.figures import figure3_series
+    from repro.analysis.tables import render_series
+
+    n = args.n
+    s = figure3_series(n, n * n / 64.0, p_points=48 if args.plot else 17,
+                       p_span=1024.0)
+    if args.plot:
+        from repro.analysis.asciiplot import line_plot
+
+        print(
+            line_plot(
+                s["p"],
+                {"classical": s["classical"], "strassen": s["strassen"]},
+                logx=True,
+                logy=True,
+                title=(
+                    f"Fig. 3 — (bandwidth cost x p) vs p  (n={n:g}; knees at "
+                    f"{s['knee_strassen']:.0f} / {s['knee_classical']:.0f})"
+                ),
+                x_label="p",
+            )
+        )
+        return
+    print(
+        render_series(
+            "p",
+            [f"{v:.5g}" for v in s["p"]],
+            {
+                "classical W*p": [f"{v:.5g}" for v in s["classical"]],
+                "strassen W*p": [f"{v:.5g}" for v in s["strassen"]],
+            },
+            title=(
+                f"Fig. 3 (n={n:g}): knees at p={s['knee_strassen']:.0f} "
+                f"(Strassen) / p={s['knee_classical']:.0f} (classical)"
+            ),
+        )
+    )
+
+
+def _cmd_fig4(args) -> None:
+    from repro.analysis.figures import figure4_series
+    from repro.core.parameters import MachineParameters
+
+    machine = MachineParameters(
+        gamma_t=1e-9, beta_t=2e-8, alpha_t=1e-6,
+        gamma_e=2e-9, beta_e=5e-8, alpha_e=1e-7,
+        delta_e=5e-9, epsilon_e=1e-3,
+        memory_words=1e8, max_message_words=1e5,
+    )
+    s = figure4_series(machine, n=1e6, interaction_flops=10.0)
+    if args.plot:
+        from repro.analysis.asciiplot import region_plot
+
+        grid = s["grid"]
+        layers = {
+            ".feasible": grid.feasible,
+            "E<=budget": s["energy_budget_region"],
+            "T<=budget": s["time_budget_region"],
+            "o M~M0": grid.feasible
+            & (
+                np.abs(np.log(np.meshgrid(s["p"], s["M"])[1] / s["M0"]))
+                < np.log(s["M"][1] / s["M"][0])
+            ),
+        }
+        print(
+            region_plot(
+                s["p"],
+                s["M"],
+                layers,
+                title=(
+                    f"Fig. 4 — n-body executions (M0={s['M0']:.4g}, "
+                    f"E*={s['E_star']:.4g} J)"
+                ),
+                x_label="p",
+                y_label="M (words)",
+            )
+        )
+        return
+    print(
+        f"Fig. 4 summary (n=1e6, f=10): M0 = {s['M0']:.5g} words, "
+        f"E* = {s['E_star']:.5g} J"
+    )
+    pairs = (
+        ("energy_budget", "energy_budget_region"),
+        ("time_budget", "time_budget_region"),
+        ("proc_power_budget", "proc_power_region"),
+        ("total_power_budget", "total_power_region"),
+    )
+    for budget_key, region_key in pairs:
+        region = s[region_key]
+        print(
+            f"  {budget_key:22s} = {s[budget_key]:.5g}  -> "
+            f"{int(region.sum())} admissible grid runs"
+        )
+
+
+def _cmd_fig6(args) -> None:
+    from repro.analysis.figures import figure6_series
+    from repro.analysis.tables import render_series
+
+    s = figure6_series(generations=args.generations)
+    print(
+        render_series(
+            "generation",
+            list(range(args.generations + 1)),
+            {k: [f"{v:.4f}" for v in vals] for k, vals in s.items()},
+            title="Fig. 6 — GFLOPS/W, one energy parameter halved per generation",
+        )
+    )
+
+
+def _cmd_fig7(args) -> None:
+    from repro.analysis.figures import figure7_series
+    from repro.analysis.tables import render_series
+    from repro.machines.casestudy import generations_to_target
+
+    s = figure7_series(generations=args.generations)
+    print(
+        render_series(
+            "generation",
+            list(range(args.generations + 1)),
+            {"GFLOPS/W": [f"{v:.4f}" for v in s["joint"]]},
+            title="Fig. 7 — joint halving of gamma_e, beta_e, delta_e",
+        )
+    )
+    print(f"75 GFLOPS/W crossed at generation {generations_to_target(75.0):.2f}")
+
+
+def _cmd_validate(_args) -> None:
+    from repro.analysis.tables import render_scaling_points
+    from repro.analysis.validation import (
+        measure_fft_tradeoff,
+        measure_strong_scaling_matmul,
+        measure_strong_scaling_nbody,
+    )
+
+    print(
+        render_scaling_points(
+            measure_strong_scaling_matmul(96, 6, (1, 2, 3)),
+            "2.5D matmul, fixed tiles (perfect strong scaling, measured):",
+        )
+    )
+    print()
+    print(
+        render_scaling_points(
+            measure_strong_scaling_nbody(96, 4, (1, 2, 4)),
+            "replicated n-body, fixed blocks:",
+        )
+    )
+    print()
+    fft = measure_fft_tradeoff(1024, (2, 4, 8))
+    print(render_scaling_points(fft["naive"] + fft["bruck"], "FFT all-to-all trade:"))
+
+
+def _cmd_report(args) -> None:
+    from repro.analysis.report import generate_report
+
+    print(generate_report(quick=args.quick), end="")
+
+
+def _cmd_questions(_args) -> None:
+    from repro.core.optimize import NBodyOptimizer
+    from repro.machines.catalog import JAKETOWN
+
+    machine = JAKETOWN.replace(max_message_words=2.0**20, epsilon_e=1e-2)
+    opt = NBodyOptimizer(machine, interaction_flops=20.0)
+    n = 1e6
+    m0 = opt.optimal_memory()
+    print(f"Table I machine, n = {n:g} particles, f = 20 flops/pair")
+    print(f"[1] M0 = {m0:.5g} words, E* = {opt.min_energy(n):.5g} J")
+    t = opt.runtime_threshold_for_min_energy(n)
+    q2 = opt.min_energy_given_runtime(n, t / 10)
+    print(f"[2] tight deadline {t / 10:.4g}s -> p = {q2.p:.5g}, E = {q2.energy:.5g} J")
+    q3 = opt.min_runtime_given_energy(n, opt.min_energy(n) * 1.2)
+    print(f"[3] E <= 1.2 E* -> p = {q3.p:.5g}, T = {q3.time:.5g} s")
+    q4 = opt.min_runtime_given_total_power(n, 100 * opt.processor_power(m0))
+    print(f"[4] 100-processor power budget -> p = {q4.p:.5g}, T = {q4.time:.5g} s")
+    print(f"[5] best efficiency = {opt.gflops_per_watt_optimal():.4f} GFLOPS/W")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables, figures and Section V answers.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1").set_defaults(fn=_cmd_table1)
+    sub.add_parser("table2").set_defaults(fn=_cmd_table2)
+    p3 = sub.add_parser("fig3")
+    p3.add_argument("--n", type=float, default=10_000.0)
+    p3.add_argument("--plot", action="store_true")
+    p3.set_defaults(fn=_cmd_fig3)
+    p4 = sub.add_parser("fig4")
+    p4.add_argument("--plot", action="store_true")
+    p4.set_defaults(fn=_cmd_fig4)
+    p6 = sub.add_parser("fig6")
+    p6.add_argument("--generations", type=int, default=8)
+    p6.set_defaults(fn=_cmd_fig6)
+    p7 = sub.add_parser("fig7")
+    p7.add_argument("--generations", type=int, default=8)
+    p7.set_defaults(fn=_cmd_fig7)
+    sub.add_parser("validate").set_defaults(fn=_cmd_validate)
+    sub.add_parser("questions").set_defaults(fn=_cmd_questions)
+    pr = sub.add_parser("report")
+    pr.add_argument("--quick", action="store_true")
+    pr.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly like cat(1).
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

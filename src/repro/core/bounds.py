@@ -1,0 +1,135 @@
+"""Communication lower bounds — Section III of the paper.
+
+These transcribe the bandwidth/latency lower bounds the energy results
+rest on:
+
+* Eq. (3)/(4): sequential model — a processor doing F flops of
+  "3-nested-loop type" with fast memory M moves
+  ``W = Omega(max(I + O, F / sqrt(M)))`` words in
+  ``S = Omega(W / m)`` messages.
+* Eq. (5): distributed model — ``W = Omega(max(0, F/sqrt(M) - (I+O)))``.
+* Memory-independent bounds (Ballard et al. [12], [13]): for classical
+  matmul ``W = Omega(n^2 / p^{2/3})`` and for Strassen-like algorithms
+  ``W = Omega(n^2 / p^{2/omega0})`` regardless of how much memory is
+  available — these are what terminate the perfect strong scaling range.
+* n-body and FFT lower bounds used in Section IV.
+
+All bounds are returned with constant factor 1; they are *asymptotic*
+statements, so the library's validation compares shapes, and upper-bound
+cost expressions in :mod:`repro.core.costs` are checked to dominate the
+bounds pointwise (up to the stated constants).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "sequential_bandwidth_lower_bound",
+    "sequential_latency_lower_bound",
+    "parallel_bandwidth_lower_bound",
+    "matmul_memory_dependent_bound",
+    "matmul_memory_independent_bound",
+    "strassen_memory_independent_bound",
+    "nbody_bandwidth_lower_bound",
+    "fft_sequential_bandwidth_lower_bound",
+]
+
+
+def _check_positive(**kwargs: float) -> None:
+    for name, v in kwargs.items():
+        if v <= 0:
+            raise ParameterError(f"{name} must be > 0, got {v!r}")
+
+
+def sequential_bandwidth_lower_bound(F: float, M: float, io_words: float = 0.0) -> float:
+    """Eq. (3): W = max(I + O, F / sqrt(M)) in the sequential model.
+
+    Parameters
+    ----------
+    F:
+        Flops performed (of the Hong-Kung / Irony-Toledo-Tiskin class).
+    M:
+        Fast-memory capacity in words.
+    io_words:
+        I + O, the compulsory input/output traffic.
+    """
+    _check_positive(M=M)
+    if F < 0 or io_words < 0:
+        raise ParameterError("F and io_words must be >= 0")
+    return max(io_words, F / math.sqrt(M))
+
+
+def sequential_latency_lower_bound(
+    F: float, M: float, m: float, io_words: float = 0.0
+) -> float:
+    """Eq. (4): S = max((I+O)/m, F / (m sqrt(M)))."""
+    _check_positive(M=M, m=m)
+    return sequential_bandwidth_lower_bound(F, M, io_words) / m
+
+
+def parallel_bandwidth_lower_bound(F: float, M: float, io_words: float = 0.0) -> float:
+    """Eq. (5): W = max(0, F / sqrt(M) - (I + O)) in the parallel model.
+
+    If the compulsory I/O exceeds the flop-driven traffic, a zero-
+    communication algorithm may exist given the right data layout.
+    """
+    _check_positive(M=M)
+    if F < 0 or io_words < 0:
+        raise ParameterError("F and io_words must be >= 0")
+    return max(0.0, F / math.sqrt(M) - io_words)
+
+
+def matmul_memory_dependent_bound(n: float, p: float, M: float) -> float:
+    """Classical matmul per-processor bandwidth bound W = n^3/(p sqrt(M))."""
+    _check_positive(n=n, p=p, M=M)
+    return n**3 / (p * math.sqrt(M))
+
+
+def matmul_memory_independent_bound(n: float, p: float) -> float:
+    """Ballard et al. [12]: W = Omega(n^2 / p^{2/3}) for classical matmul,
+    no matter how much memory each processor has."""
+    _check_positive(n=n, p=p)
+    return n**2 / p ** (2.0 / 3.0)
+
+
+def strassen_memory_independent_bound(
+    n: float, p: float, omega0: float = math.log2(7.0)
+) -> float:
+    """[13]: W = Omega(n^2 / p^{2/omega0}) for Strassen-like algorithms."""
+    _check_positive(n=n, p=p)
+    if not 2.0 < omega0 <= 3.0:
+        raise ParameterError(f"omega0 must be in (2, 3], got {omega0!r}")
+    return n**2 / p ** (2.0 / omega0)
+
+
+def nbody_bandwidth_lower_bound(n: float, p: float, M: float) -> float:
+    """Replicated n-body bandwidth bound W = n^2 / (p M) (Driscoll et al.)."""
+    _check_positive(n=n, p=p, M=M)
+    return n**2 / (p * M)
+
+
+def fft_sequential_bandwidth_lower_bound(n: float, M: float) -> float:
+    """Hong & Kung [4]: sequential FFT moves W = Theta(n log n / log M)."""
+    _check_positive(n=n, M=M)
+    if n < 2 or M < 2:
+        raise ParameterError("FFT bound needs n >= 2 and M >= 2")
+    return n * math.log2(n) / math.log2(M)
+
+
+def effective_bandwidth_bound(
+    n: float, p: float, M: float, omega0: float = 3.0
+) -> float:
+    """The binding bandwidth bound for (fast) matmul: the larger of the
+    memory-dependent and memory-independent bounds.
+
+    For p below n^omega0 / M^{omega0/2} the memory-dependent bound binds
+    (perfect strong scaling possible); above, the memory-independent
+    bound takes over and W p grows with p (Fig. 3).
+    """
+    _check_positive(n=n, p=p, M=M)
+    dep = n**omega0 / (p * M ** (omega0 / 2.0 - 1.0))
+    indep = n**2 / p ** (2.0 / omega0)
+    return max(dep, indep)

@@ -1,0 +1,385 @@
+"""Per-processor computation and communication cost expressions.
+
+For each algorithm the paper analyses, this module provides a cost class
+exposing the asymptotic per-processor counts used in Eq. (1) and Eq. (2):
+
+* ``flops(n, p, M)``     — F, floating point operations
+* ``words(n, p, M)``     — W, words sent
+* ``messages(n, p, M, m)`` — S, messages sent (usually ceil-free W/m)
+* ``memory_min(n, p)`` / ``memory_max(n, p)`` — the admissible range of
+  per-processor memory M: at least one copy of the data spread over the
+  p processors, at most the replication-saturation point beyond which
+  extra memory cannot reduce communication.
+
+All expressions follow the paper's big-O forms with constant factor 1
+(the paper explicitly omits constants); tests validate *shapes* (scaling
+laws) rather than constants, and the simulator validates that real
+algorithm executions track these shapes.
+
+Counts are returned as floats since the models are continuous
+(fractional p and M are meaningful for analysis).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import MemoryRangeError, ParameterError
+
+__all__ = [
+    "AlgorithmCosts",
+    "ClassicalMatMulCosts",
+    "Classical2DMatMulCosts",
+    "StrassenMatMulCosts",
+    "LU25DCosts",
+    "NBodyCosts",
+    "FFTCosts",
+    "OMEGA_STRASSEN",
+    "validate_memory",
+]
+
+#: Exponent of Strassen's algorithm, omega_0 = log2(7).
+OMEGA_STRASSEN: float = math.log2(7.0)
+
+
+def _check_np(n: float, p: float) -> None:
+    if n <= 0:
+        raise ParameterError(f"problem size n must be > 0, got {n!r}")
+    if p <= 0:
+        raise ParameterError(f"processor count p must be > 0, got {p!r}")
+
+
+def validate_memory(costs: "AlgorithmCosts", n: float, p: float, M: float) -> None:
+    """Raise :class:`MemoryRangeError` if M is outside the admissible range.
+
+    A small relative tolerance absorbs floating point noise at the
+    endpoints (the endpoints themselves are legal: M = Mmin is the 2D/1D
+    algorithm, M = Mmax is the fully replicated 3D/2D algorithm).
+    """
+    lo = costs.memory_min(n, p)
+    hi = costs.memory_max(n, p)
+    tol = 1e-12
+    if M < lo * (1 - tol) or M > hi * (1 + tol):
+        raise MemoryRangeError(
+            f"{type(costs).__name__}: M={M!r} outside admissible range "
+            f"[{lo!r}, {hi!r}] for n={n!r}, p={p!r}"
+        )
+
+
+class AlgorithmCosts:
+    """Interface for per-processor asymptotic cost expressions.
+
+    Subclasses implement the four count methods. ``messages`` defaults
+    to the paper's ``S = W / m`` rule (communication packed into
+    maximal-size messages), which is correct for every data-replicating
+    algorithm in the paper; LU and FFT override it.
+    """
+
+    #: human-readable algorithm name
+    name: str = "abstract"
+
+    def flops(self, n: float, p: float, M: float) -> float:
+        raise NotImplementedError
+
+    def words(self, n: float, p: float, M: float) -> float:
+        raise NotImplementedError
+
+    def messages(self, n: float, p: float, M: float, m: float) -> float:
+        if m <= 0:
+            raise ParameterError(f"message size m must be > 0, got {m!r}")
+        return self.words(n, p, M) / m
+
+    def memory_min(self, n: float, p: float) -> float:
+        """Smallest admissible M: one copy of the data spread over p."""
+        raise NotImplementedError
+
+    def memory_max(self, n: float, p: float) -> float:
+        """Largest useful M: the replication saturation point."""
+        raise NotImplementedError
+
+    # -- convenience -------------------------------------------------
+
+    def memory_range(self, n: float, p: float) -> tuple[float, float]:
+        """Return (memory_min, memory_max)."""
+        return self.memory_min(n, p), self.memory_max(n, p)
+
+    def p_min(self, n: float, M: float) -> float:
+        """Fewest processors that fit the problem in memory M each.
+
+        Obtained by inverting ``memory_min``; for matrix multiplication
+        this is p_min = n^2 / M, for n-body p_min = n / M.
+        """
+        raise NotImplementedError
+
+    def p_max_perfect(self, n: float, M: float) -> float:
+        """Most processors for which perfect strong scaling holds with
+        per-processor memory M (inverting ``memory_max``)."""
+        raise NotImplementedError
+
+    def replication_factor(self, n: float, p: float, M: float) -> float:
+        """c = M / memory_min: how many copies of the data exist."""
+        return M / self.memory_min(n, p)
+
+
+@dataclass(frozen=True)
+class ClassicalMatMulCosts(AlgorithmCosts):
+    """Classical O(n^3) matrix multiplication, 2.5D algorithm (Eq. 8).
+
+    F = n^3 / p,  W = n^3 / (p sqrt(M)),  S = W / m,
+    valid for n^2/p <= M <= n^2/p^(2/3). At M = n^2/p the algorithm is
+    2D (Cannon/SUMMA); at M = n^2/p^(2/3) it is the 3D algorithm.
+    """
+
+    name: str = "classical-matmul-2.5d"
+
+    def flops(self, n: float, p: float, M: float) -> float:
+        _check_np(n, p)
+        return n**3 / p
+
+    def words(self, n: float, p: float, M: float) -> float:
+        _check_np(n, p)
+        if M <= 0:
+            raise ParameterError(f"memory M must be > 0, got {M!r}")
+        return n**3 / (p * math.sqrt(M))
+
+    def memory_min(self, n: float, p: float) -> float:
+        _check_np(n, p)
+        return n**2 / p
+
+    def memory_max(self, n: float, p: float) -> float:
+        _check_np(n, p)
+        return n**2 / p ** (2.0 / 3.0)
+
+    def p_min(self, n: float, M: float) -> float:
+        return n**2 / M
+
+    def p_max_perfect(self, n: float, M: float) -> float:
+        return n**3 / M**1.5
+
+
+@dataclass(frozen=True)
+class Classical2DMatMulCosts(AlgorithmCosts):
+    """Classical 2D matrix multiplication (Cannon / SUMMA), M pinned to n^2/p.
+
+    Provided as an explicit baseline: the memory argument is ignored and
+    the costs are those of the 2.5D expressions evaluated at M = n^2/p:
+    W = n^2 / sqrt(p).
+    """
+
+    name: str = "classical-matmul-2d"
+
+    def flops(self, n: float, p: float, M: float = 0.0) -> float:
+        _check_np(n, p)
+        return n**3 / p
+
+    def words(self, n: float, p: float, M: float = 0.0) -> float:
+        _check_np(n, p)
+        return n**2 / math.sqrt(p)
+
+    def memory_min(self, n: float, p: float) -> float:
+        _check_np(n, p)
+        return n**2 / p
+
+    def memory_max(self, n: float, p: float) -> float:
+        # 2D algorithm cannot exploit extra memory.
+        return self.memory_min(n, p)
+
+    def p_min(self, n: float, M: float) -> float:
+        return n**2 / M
+
+    def p_max_perfect(self, n: float, M: float) -> float:
+        return n**2 / M
+
+
+@dataclass(frozen=True)
+class StrassenMatMulCosts(AlgorithmCosts):
+    """Fast (Strassen-like) matrix multiplication via CAPS.
+
+    For an O(n^omega0) algorithm: F = n^omega0 / p,
+    W = n^omega0 / (p M^(omega0/2 - 1)), S = W/m, valid for
+    n^2/p <= M <= n^2/p^(2/omega0). Defaults to Strassen's
+    omega0 = log2 7 ~ 2.81.
+    """
+
+    omega0: float = OMEGA_STRASSEN
+    name: str = "strassen-matmul-caps"
+
+    def __post_init__(self) -> None:
+        if not 2.0 < self.omega0 <= 3.0:
+            raise ParameterError(
+                f"fast matmul exponent must satisfy 2 < omega0 <= 3, got {self.omega0!r}"
+            )
+
+    def flops(self, n: float, p: float, M: float) -> float:
+        _check_np(n, p)
+        return n**self.omega0 / p
+
+    def words(self, n: float, p: float, M: float) -> float:
+        _check_np(n, p)
+        if M <= 0:
+            raise ParameterError(f"memory M must be > 0, got {M!r}")
+        return n**self.omega0 / (p * M ** (self.omega0 / 2.0 - 1.0))
+
+    def memory_min(self, n: float, p: float) -> float:
+        _check_np(n, p)
+        return n**2 / p
+
+    def memory_max(self, n: float, p: float) -> float:
+        _check_np(n, p)
+        return n**2 / p ** (2.0 / self.omega0)
+
+    def p_min(self, n: float, M: float) -> float:
+        return n**2 / M
+
+    def p_max_perfect(self, n: float, M: float) -> float:
+        return n**self.omega0 / M ** (self.omega0 / 2.0)
+
+
+@dataclass(frozen=True)
+class LU25DCosts(AlgorithmCosts):
+    """2.5D LU factorization (Solomonik & Demmel).
+
+    Bandwidth matches 2.5D matmul (W = n^3 / (p sqrt(M))) and strongly
+    scales, but the latency term is S = sqrt(c p) = sqrt(p M / (n^2/p)) ...
+    expressed via the replication factor c = M p / n^2:
+    S = sqrt(c * p), which *grows* with p — LU's critical path prevents
+    perfect strong scaling of the message count. The paper writes the
+    message count as ``S = n^2 / W`` = sqrt(cp) modulo constants.
+    """
+
+    name: str = "lu-2.5d"
+
+    def flops(self, n: float, p: float, M: float) -> float:
+        _check_np(n, p)
+        return n**3 / p
+
+    def words(self, n: float, p: float, M: float) -> float:
+        _check_np(n, p)
+        if M <= 0:
+            raise ParameterError(f"memory M must be > 0, got {M!r}")
+        return n**3 / (p * math.sqrt(M))
+
+    def messages(self, n: float, p: float, M: float, m: float) -> float:
+        # Critical-path bound: S = n^2 / W = sqrt(c p), independent of m.
+        _check_np(n, p)
+        return n**2 / self.words(n, p, M)
+
+    def memory_min(self, n: float, p: float) -> float:
+        _check_np(n, p)
+        return n**2 / p
+
+    def memory_max(self, n: float, p: float) -> float:
+        _check_np(n, p)
+        return n**2 / p ** (2.0 / 3.0)
+
+    def p_min(self, n: float, M: float) -> float:
+        return n**2 / M
+
+    def p_max_perfect(self, n: float, M: float) -> float:
+        return n**3 / M**1.5
+
+    def replication(self, n: float, p: float, M: float) -> float:
+        """Replication factor c = M p / n^2 (1 for 2D, p^(1/3) for 3D)."""
+        return M * p / n**2
+
+
+@dataclass(frozen=True)
+class NBodyCosts(AlgorithmCosts):
+    """Direct O(n^2) n-body with data replication (Driscoll et al.).
+
+    F = f n^2 / p (f flops per pairwise interaction),
+    W = n^2 / (p M), S = W/m, valid for n/p <= M <= n/sqrt(p).
+    """
+
+    interaction_flops: float = 1.0  # f, flops per particle pair
+    name: str = "nbody-replicated"
+
+    def __post_init__(self) -> None:
+        if self.interaction_flops <= 0:
+            raise ParameterError(
+                f"interaction_flops f must be > 0, got {self.interaction_flops!r}"
+            )
+
+    def flops(self, n: float, p: float, M: float) -> float:
+        _check_np(n, p)
+        return self.interaction_flops * n**2 / p
+
+    def words(self, n: float, p: float, M: float) -> float:
+        _check_np(n, p)
+        if M <= 0:
+            raise ParameterError(f"memory M must be > 0, got {M!r}")
+        return n**2 / (p * M)
+
+    def memory_min(self, n: float, p: float) -> float:
+        _check_np(n, p)
+        return n / p
+
+    def memory_max(self, n: float, p: float) -> float:
+        _check_np(n, p)
+        return n / math.sqrt(p)
+
+    def p_min(self, n: float, M: float) -> float:
+        return n / M
+
+    def p_max_perfect(self, n: float, M: float) -> float:
+        return n**2 / M**2
+
+
+@dataclass(frozen=True)
+class FFTCosts(AlgorithmCosts):
+    """Radix-2 FFT of n points with cyclic data distribution.
+
+    Two all-to-all strategies (Section IV):
+
+    * naive ("direct"):  W = n/p,       S = p
+    * tree-based:        W = n log2(p)/p, S = log2(p)
+
+    In both cases F = n log2(n) / p, the memory is pinned at M = n/p
+    (extra memory is useless), and there is *no* perfect strong scaling
+    region because the message count does not scale with p.
+    """
+
+    all_to_all: str = "tree"  # "tree" or "naive"
+    name: str = "fft"
+
+    def __post_init__(self) -> None:
+        if self.all_to_all not in ("tree", "naive"):
+            raise ParameterError(
+                f"all_to_all must be 'tree' or 'naive', got {self.all_to_all!r}"
+            )
+
+    def flops(self, n: float, p: float, M: float = 0.0) -> float:
+        _check_np(n, p)
+        return n * math.log2(max(n, 2.0)) / p
+
+    def words(self, n: float, p: float, M: float = 0.0) -> float:
+        _check_np(n, p)
+        if p < 2:
+            return 0.0
+        if self.all_to_all == "naive":
+            return n / p
+        return n * math.log2(p) / p
+
+    def messages(self, n: float, p: float, M: float = 0.0, m: float = 1.0) -> float:
+        _check_np(n, p)
+        if p < 2:
+            return 0.0
+        if self.all_to_all == "naive":
+            return float(p)
+        return math.log2(p)
+
+    def memory_min(self, n: float, p: float) -> float:
+        _check_np(n, p)
+        return n / p
+
+    def memory_max(self, n: float, p: float) -> float:
+        # Extra memory cannot reduce FFT communication.
+        return self.memory_min(n, p)
+
+    def p_min(self, n: float, M: float) -> float:
+        return n / M
+
+    def p_max_perfect(self, n: float, M: float) -> float:
+        # No perfect scaling region: the range is degenerate.
+        return n / M

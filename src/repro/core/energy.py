@@ -1,0 +1,350 @@
+"""Energy model — Eq. (2) of the paper and its per-algorithm closed forms.
+
+The total energy of a p-processor execution is
+
+    E = p * (gamma_e F + beta_e W + alpha_e S + delta_e M T + eps_e T)
+
+where T is the (per-processor) runtime of Eq. (1). The ``delta_e M T``
+term charges for keeping M words of memory powered for the duration of
+the run; ``eps_e T`` charges for all other leakage.
+
+This module provides:
+
+* :func:`energy_from_counts` / :func:`energy` — the generic evaluator.
+* Closed forms transcribed from the paper and validated against the
+  generic evaluator in the test suite:
+
+  - :func:`energy_matmul_25d`   — Eq. (10)
+  - :func:`energy_matmul_3d`    — Eq. (11) (Eq. 10 at M = n^2/p^{2/3})
+  - :func:`energy_strassen_flm` — Eq. (13) ("limited memory")
+  - :func:`energy_strassen_fum` — Eq. (14) ("unlimited memory",
+    M = n^2/p^{2/omega0}); note the paper prints the memory term as
+    ``delta_e gamma_t n^5 p^{-2/omega0}``, a typo for
+    ``n^{omega0+2} p^{-2/omega0}`` (they agree only at omega0 = 3) — we
+    implement the correct general form, which equals Eq. (13) at the
+    memory ceiling.
+  - :func:`energy_nbody`        — Eq. (16)
+  - :func:`energy_fft`          — the FFT expression of Section IV.
+
+Every closed form is *independent of p* exactly when the paper says it
+is (matmul Eq. 10, Strassen Eq. 13, n-body Eq. 16): this is the paper's
+headline "perfect strong scaling uses no additional energy" theorem, and
+the test suite asserts it symbolically (same output for any p in range).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.costs import (
+    AlgorithmCosts,
+    ClassicalMatMulCosts,
+    NBodyCosts,
+    StrassenMatMulCosts,
+    validate_memory,
+)
+from repro.core.parameters import MachineParameters
+from repro.core.timing import runtime_from_counts
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "EnergyBreakdown",
+    "energy",
+    "energy_from_counts",
+    "energy_matmul_25d",
+    "energy_matmul_3d",
+    "energy_strassen_flm",
+    "energy_strassen_fum",
+    "energy_nbody",
+    "energy_fft",
+]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """The five additive components of Eq. (2), in joules (totals over p)."""
+
+    compute: float  # p * gamma_e * F
+    bandwidth: float  # p * beta_e * W
+    latency: float  # p * alpha_e * S
+    memory: float  # p * delta_e * M * T
+    leakage: float  # p * eps_e * T
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.bandwidth + self.latency + self.memory + self.leakage
+
+    def dominant_term(self) -> str:
+        """Name of the largest component."""
+        parts = {
+            "compute": self.compute,
+            "bandwidth": self.bandwidth,
+            "latency": self.latency,
+            "memory": self.memory,
+            "leakage": self.leakage,
+        }
+        return max(parts, key=parts.__getitem__)
+
+
+def energy_from_counts(
+    machine: MachineParameters,
+    F: float,
+    W: float,
+    S: float,
+    M: float,
+    p: float,
+    T: float | None = None,
+) -> EnergyBreakdown:
+    """Evaluate Eq. (2) on raw per-processor counts.
+
+    Parameters
+    ----------
+    F, W, S:
+        Per-processor flops, words, messages.
+    M:
+        Words of memory kept powered per processor.
+    p:
+        Number of processors.
+    T:
+        Runtime in seconds. Defaults to the Eq. (1) value computed from
+        the same counts (the paper's convention); pass a measured T to
+        evaluate the model on observed executions.
+    """
+    if p <= 0:
+        raise ParameterError(f"p must be > 0, got {p!r}")
+    if M < 0:
+        raise ParameterError(f"M must be >= 0, got {M!r}")
+    if T is None:
+        T = runtime_from_counts(machine, F, W, S).total
+    if T < 0:
+        raise ParameterError(f"T must be >= 0, got {T!r}")
+    return EnergyBreakdown(
+        compute=p * machine.gamma_e * F,
+        bandwidth=p * machine.beta_e * W,
+        latency=p * machine.alpha_e * S,
+        memory=p * machine.delta_e * M * T,
+        leakage=p * machine.epsilon_e * T,
+    )
+
+
+def energy(
+    costs: AlgorithmCosts,
+    machine: MachineParameters,
+    n: float,
+    p: float,
+    M: float | None = None,
+    *,
+    check_memory: bool = True,
+) -> EnergyBreakdown:
+    """Evaluate Eq. (2) for an algorithm's asymptotic cost expressions."""
+    if M is None:
+        lo, hi = costs.memory_range(n, p)
+        M = min(max(machine.memory_words, lo), hi)
+    if M > machine.memory_words * (1 + 1e-12):
+        raise ParameterError(
+            f"requested M={M!r} exceeds physical memory {machine.memory_words!r}"
+        )
+    if check_memory:
+        validate_memory(costs, n, p, M)
+    F = costs.flops(n, p, M)
+    W = costs.words(n, p, M)
+    S = costs.messages(n, p, M, machine.max_message_words)
+    return energy_from_counts(machine, F, W, S, M, p)
+
+
+# ----------------------------------------------------------------------
+# Closed forms transcribed from the paper
+# ----------------------------------------------------------------------
+
+
+def _comm_coeff(machine: MachineParameters) -> float:
+    """(beta_e + beta_t eps_e) + (alpha_e + alpha_t eps_e)/m — per-word
+    communication energy including leakage-during-transfer."""
+    return (
+        machine.beta_e
+        + machine.beta_t * machine.epsilon_e
+        + (machine.alpha_e + machine.alpha_t * machine.epsilon_e)
+        / machine.max_message_words
+    )
+
+
+def _mem_comm_coeff(machine: MachineParameters) -> float:
+    """delta_e beta_t + delta_e alpha_t / m — memory energy burned per
+    word in flight."""
+    return machine.delta_e * (
+        machine.beta_t + machine.alpha_t / machine.max_message_words
+    )
+
+
+def energy_matmul_25d(machine: MachineParameters, n: float, M: float) -> float:
+    """Eq. (10): total energy of 2.5D classical matmul. Independent of p.
+
+    Valid for any p in the perfect strong scaling range
+    n^2/M <= p <= n^3/M^{3/2}.
+    """
+    if n <= 0 or M <= 0:
+        raise ParameterError(f"n and M must be > 0, got n={n!r}, M={M!r}")
+    g = machine
+    sqrtM = math.sqrt(M)
+    return (
+        (g.gamma_e + g.gamma_t * g.epsilon_e) * n**3
+        + _comm_coeff(g) * n**3 / sqrtM
+        + g.delta_e * g.gamma_t * M * n**3
+        + _mem_comm_coeff(g) * sqrtM * n**3
+    )
+
+
+def energy_matmul_3d(machine: MachineParameters, n: float, p: float) -> float:
+    """Eq. (11): energy of 3D matmul (M = n^2/p^{2/3}).
+
+    At the 3D limit extra processors *do* change energy: memory energy
+    falls as p^{-2/3} while communication energy rises as p^{1/3}.
+    """
+    if n <= 0 or p <= 0:
+        raise ParameterError(f"n and p must be > 0, got n={n!r}, p={p!r}")
+    g = machine
+    return (
+        (g.gamma_e + g.gamma_t * g.epsilon_e) * n**3
+        + _comm_coeff(g) * n**2 * p ** (1.0 / 3.0)
+        + g.delta_e * g.gamma_t * n**5 / p ** (2.0 / 3.0)
+        + _mem_comm_coeff(g) * n**4 / p ** (1.0 / 3.0)
+    )
+
+
+def energy_strassen_flm(
+    machine: MachineParameters,
+    n: float,
+    M: float,
+    omega0: float = math.log2(7.0),
+) -> float:
+    """Eq. (13): energy of CAPS fast matmul with limited memory M.
+
+    Independent of p for n^2/M <= p <= (n^2/M)^{omega0/2}.
+    """
+    if n <= 0 or M <= 0:
+        raise ParameterError(f"n and M must be > 0, got n={n!r}, M={M!r}")
+    if not 2.0 < omega0 <= 3.0:
+        raise ParameterError(f"omega0 must be in (2, 3], got {omega0!r}")
+    g = machine
+    return (
+        (g.gamma_e + g.gamma_t * g.epsilon_e) * n**omega0
+        + _comm_coeff(g) * n**omega0 / M ** (omega0 / 2.0 - 1.0)
+        + g.delta_e * g.gamma_t * M * n**omega0
+        + _mem_comm_coeff(g) * M ** (2.0 - omega0 / 2.0) * n**omega0
+    )
+
+
+def energy_strassen_fum(
+    machine: MachineParameters,
+    n: float,
+    p: float,
+    omega0: float = math.log2(7.0),
+) -> float:
+    """Eq. (14): energy of CAPS fast matmul at the memory ceiling
+    M = n^2/p^{2/omega0} ("unlimited memory" regime).
+
+    Implements the corrected memory term n^{omega0+2} p^{-2/omega0}
+    (the paper prints n^5, which is the omega0=3 special case).
+    """
+    if n <= 0 or p <= 0:
+        raise ParameterError(f"n and p must be > 0, got n={n!r}, p={p!r}")
+    if not 2.0 < omega0 <= 3.0:
+        raise ParameterError(f"omega0 must be in (2, 3], got {omega0!r}")
+    g = machine
+    return (
+        (g.gamma_e + g.gamma_t * g.epsilon_e) * n**omega0
+        + _comm_coeff(g) * n**2 * p ** (1.0 - 2.0 / omega0)
+        + g.delta_e * g.gamma_t * n ** (omega0 + 2.0) * p ** (-2.0 / omega0)
+        + _mem_comm_coeff(g) * n**4 * p ** (1.0 - 4.0 / omega0)
+    )
+
+
+def energy_nbody(
+    machine: MachineParameters,
+    n: float,
+    M: float,
+    interaction_flops: float = 1.0,
+) -> float:
+    """Eq. (16): energy of the replicated direct n-body algorithm.
+
+    Independent of p for n/M <= p <= n^2/M^2. ``interaction_flops`` is
+    the paper's f, the flops per pairwise interaction.
+    """
+    if n <= 0 or M <= 0:
+        raise ParameterError(f"n and M must be > 0, got n={n!r}, M={M!r}")
+    if interaction_flops <= 0:
+        raise ParameterError(
+            f"interaction_flops must be > 0, got {interaction_flops!r}"
+        )
+    g = machine
+    f = interaction_flops
+    return (
+        (
+            f * (g.gamma_e + g.gamma_t * g.epsilon_e)
+            + g.delta_e * (g.beta_t + g.alpha_t / g.max_message_words)
+        )
+        * n**2
+        + _comm_coeff(g) * n**2 / M
+        + g.delta_e * g.gamma_t * f * M * n**2
+    )
+
+
+def energy_fft(machine: MachineParameters, n: float, p: float) -> float:
+    """Energy of the parallel FFT with tree-based all-to-all (Section IV).
+
+    E = (gamma_e + eps_e gamma_t) n log n + (alpha_e + eps_e alpha_t) p log p
+        + (beta_e + eps_e beta_t + delta_e alpha_t) n log p
+        + delta_e gamma_t n^2 log(n)/p + delta_e beta_t n^2 log(p)/p
+
+    (logs base 2; there is no perfect strong scaling because of the
+    p log p and log p terms).
+    """
+    if n <= 1 or p <= 0:
+        raise ParameterError(f"need n > 1 and p > 0, got n={n!r}, p={p!r}")
+    g = machine
+    logn = math.log2(n)
+    logp = math.log2(p) if p > 1 else 0.0
+    return (
+        (g.gamma_e + g.epsilon_e * g.gamma_t) * n * logn
+        + (g.alpha_e + g.epsilon_e * g.alpha_t) * p * logp
+        + (g.beta_e + g.epsilon_e * g.beta_t + g.delta_e * g.alpha_t) * n * logp
+        + g.delta_e * g.gamma_t * n**2 * logn / p
+        + g.delta_e * g.beta_t * n**2 * logp / p
+    )
+
+
+# ----------------------------------------------------------------------
+# Convenience wrappers matching the generic evaluator
+# ----------------------------------------------------------------------
+
+
+def energy_matmul_25d_generic(
+    machine: MachineParameters, n: float, p: float, M: float
+) -> float:
+    """Eq. (2) evaluated with the 2.5D matmul costs (for cross-checks)."""
+    return energy(ClassicalMatMulCosts(), machine, n, p, M).total
+
+
+def energy_strassen_generic(
+    machine: MachineParameters,
+    n: float,
+    p: float,
+    M: float,
+    omega0: float = math.log2(7.0),
+) -> float:
+    """Eq. (2) evaluated with the CAPS costs (for cross-checks)."""
+    return energy(StrassenMatMulCosts(omega0=omega0), machine, n, p, M).total
+
+
+def energy_nbody_generic(
+    machine: MachineParameters,
+    n: float,
+    p: float,
+    M: float,
+    interaction_flops: float = 1.0,
+) -> float:
+    """Eq. (2) evaluated with the n-body costs (for cross-checks)."""
+    return energy(
+        NBodyCosts(interaction_flops=interaction_flops), machine, n, p, M
+    ).total

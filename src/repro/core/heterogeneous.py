@@ -1,0 +1,165 @@
+"""Heterogeneous processing extension — Ballard, Demmel & Gearhart [7].
+
+The paper's reference [7] ("Communication Bounds for Heterogeneous
+Architectures") extends the lower-bound machinery to machines whose
+processors differ in speed and energy cost; the paper lists applying
+the energy model there as an open problem. This module supplies the
+work-partitioning layer for the compute-dominated regime:
+
+* :meth:`HeterogeneousMachine.makespan_partition` — split F total flops
+  so all processors finish together (F_i proportional to 1/gamma_t_i):
+  the minimum-runtime partition.
+* :meth:`HeterogeneousMachine.min_energy_partition` — minimize total
+  compute+leakage energy subject to a deadline: a greedy fill of the
+  most energy-efficient processors first, each up to its deadline
+  capacity T/gamma_t_i. Greedy is exact here (the objective is linear
+  with independent box constraints), and the tests cross-check it
+  against ``scipy.optimize.linprog``.
+* :meth:`HeterogeneousMachine.energy_time_frontier` — sweep deadlines to
+  trace the energy/runtime Pareto frontier of a heterogeneous pool
+  (e.g. a GPU + big cores + little cores from Table II).
+
+Communication terms are deliberately out of scope (matching [7]'s
+brief-announcement scope); plug the per-processor F_i into the full
+Eq. (2) via :func:`repro.core.energy.energy_from_counts` to add them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.core.parameters import MachineParameters
+from repro.exceptions import InfeasibleError, ParameterError
+
+__all__ = ["HeterogeneousMachine", "WorkAssignment"]
+
+
+@dataclass(frozen=True)
+class WorkAssignment:
+    """A work split across the pool."""
+
+    flops: tuple[float, ...]  # F_i per processor
+    time: float  # makespan: max_i gamma_t_i * F_i
+    energy: float  # sum_i (gamma_e_i + gamma_t_i eps_e_i) F_i
+
+    @property
+    def total_flops(self) -> float:
+        return sum(self.flops)
+
+
+@dataclass(frozen=True)
+class HeterogeneousMachine:
+    """A pool of processors with individual machine constants.
+
+    Only gamma_t (speed), gamma_e (energy/flop) and epsilon_e (leakage
+    while powered) participate in the compute-dominated analysis.
+    """
+
+    processors: tuple[MachineParameters, ...]
+
+    def __post_init__(self) -> None:
+        if not self.processors:
+            raise ParameterError("need at least one processor")
+
+    @property
+    def count(self) -> int:
+        return len(self.processors)
+
+    # -- runtime-optimal ----------------------------------------------------
+
+    def makespan_partition(self, total_flops: float) -> WorkAssignment:
+        """Split work so every processor finishes simultaneously.
+
+        F_i = F * (1/gamma_t_i) / sum_j (1/gamma_t_j); the makespan is
+        F / sum_j (1/gamma_t_j) — the pool behaves like one processor
+        with the aggregate flop rate.
+        """
+        if total_flops < 0:
+            raise ParameterError(f"total_flops must be >= 0, got {total_flops!r}")
+        rates = [1.0 / p.gamma_t for p in self.processors]
+        agg = sum(rates)
+        time = total_flops / agg
+        flops = tuple(total_flops * r / agg for r in rates)
+        return self._assignment(flops, time)
+
+    def min_time(self, total_flops: float) -> float:
+        """The fastest possible makespan (all processors busy)."""
+        return self.makespan_partition(total_flops).time
+
+    # -- energy-optimal under a deadline --------------------------------------
+
+    def min_energy_partition(
+        self, total_flops: float, t_max: float
+    ) -> WorkAssignment:
+        """Minimize compute+leakage energy with makespan <= t_max.
+
+        Greedy: processors sorted by effective energy per flop
+        (gamma_e + gamma_t * eps_e, charging each processor's leakage
+        over the time it is actually powered for its share) receive work
+        up to their deadline capacity t_max / gamma_t. Exact for this
+        linear program. Unused processors are assumed powered off
+        (no leakage) — the paper's delta_e M T convention of paying only
+        for what the run uses.
+        """
+        if total_flops < 0:
+            raise ParameterError(f"total_flops must be >= 0, got {total_flops!r}")
+        if t_max <= 0:
+            raise ParameterError(f"t_max must be > 0, got {t_max!r}")
+        capacity = [t_max / p.gamma_t for p in self.processors]
+        if sum(capacity) < total_flops * (1 - 1e-12):
+            raise InfeasibleError(
+                f"deadline {t_max!r}s cannot absorb {total_flops!r} flops "
+                f"(pool capacity {sum(capacity)!r})"
+            )
+        order = sorted(
+            range(self.count),
+            key=lambda i: self.processors[i].flop_energy,
+        )
+        flops = [0.0] * self.count
+        remaining = total_flops
+        for i in order:
+            take = min(capacity[i], remaining)
+            flops[i] = take
+            remaining -= take
+            if remaining <= 0:
+                break
+        time = max(
+            (p.gamma_t * f for p, f in zip(self.processors, flops)), default=0.0
+        )
+        return self._assignment(tuple(flops), time)
+
+    def min_energy(self, total_flops: float) -> WorkAssignment:
+        """Unconstrained minimum energy: everything on the processor with
+        the lowest effective energy per flop (others powered off)."""
+        best = min(range(self.count), key=lambda i: self.processors[i].flop_energy)
+        flops = [0.0] * self.count
+        flops[best] = total_flops
+        time = self.processors[best].gamma_t * total_flops
+        return self._assignment(tuple(flops), time)
+
+    # -- the Pareto frontier -----------------------------------------------------
+
+    def energy_time_frontier(
+        self, total_flops: float, points: int = 16
+    ) -> list[WorkAssignment]:
+        """Deadline sweep from the fastest makespan to the single-best-
+        processor runtime: the energy/runtime trade-off curve."""
+        if points < 2:
+            raise ParameterError(f"need at least 2 points, got {points!r}")
+        t_fast = self.min_time(total_flops)
+        t_slow = self.min_energy(total_flops).time
+        if t_slow <= t_fast:
+            t_slow = t_fast * 2
+        out = []
+        for k in range(points):
+            t = t_fast * (t_slow / t_fast) ** (k / (points - 1))
+            out.append(self.min_energy_partition(total_flops, t))
+        return out
+
+    # -- internals ------------------------------------------------------------------
+
+    def _assignment(self, flops: tuple[float, ...], time: float) -> WorkAssignment:
+        # Each processor leaks only while busy (powers off when its share
+        # completes): energy = sum_i (gamma_e_i + gamma_t_i eps_e_i) F_i,
+        # which keeps the objective linear and the greedy exact.
+        energy = sum(p.flop_energy * f for p, f in zip(self.processors, flops))
+        return WorkAssignment(flops=flops, time=time, energy=energy)

@@ -1,0 +1,278 @@
+"""Machine parameter sets for the timing and energy models.
+
+The paper characterizes a distributed machine by a small vector of
+constants (Section II):
+
+======== ======================= =========================================
+symbol   attribute               meaning
+======== ======================= =========================================
+gamma_t  ``gamma_t``             seconds per flop
+beta_t   ``beta_t``              seconds per word moved (inverse bandwidth)
+alpha_t  ``alpha_t``             seconds per message (latency)
+gamma_e  ``gamma_e``             joules per flop
+beta_e   ``beta_e``              joules per word moved
+alpha_e  ``alpha_e``             joules per message
+delta_e  ``delta_e``             joules per stored word per second
+eps_e    ``epsilon_e``           leakage joules per second per processor
+M        ``memory_words``        usable memory per processor, in words
+m        ``max_message_words``   maximum words in one message (m <= M)
+======== ======================= =========================================
+
+Two dataclasses are provided:
+
+* :class:`MachineParameters` — the one-level distributed model of
+  Fig. 1(b), used throughout Sections II–V.
+* :class:`TwoLevelMachineParameters` — the node/core model of Fig. 2,
+  used for Eq. (12) (matrix multiplication) and Eq. (17) (n-body).
+
+Both are frozen (hashable, safe to share across threads in the SPMD
+simulator) and validate their fields on construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "MachineParameters",
+    "TwoLevelMachineParameters",
+    "effective_beta",
+]
+
+
+def _require_nonnegative(name: str, value: float) -> None:
+    if not math.isfinite(value) or value < 0:
+        raise ParameterError(f"{name} must be finite and >= 0, got {value!r}")
+
+
+def _require_positive(name: str, value: float) -> None:
+    if not math.isfinite(value) or value <= 0:
+        raise ParameterError(f"{name} must be finite and > 0, got {value!r}")
+
+
+@dataclass(frozen=True)
+class MachineParameters:
+    """Constants of the one-level distributed machine model.
+
+    All per-operation cost fields may be zero (the paper's case study
+    sets ``alpha_e = 0`` and ``epsilon_e = 0``), but time per flop must
+    be positive so that runtimes are well defined, and the memory and
+    message-size capacities must be positive.
+
+    Parameters are expressed per *word*; the word size in bytes is
+    whatever the user adopted when deriving ``beta_t``/``beta_e``
+    (4 bytes in the paper's single-precision case study).
+    """
+
+    gamma_t: float  # seconds / flop
+    beta_t: float  # seconds / word
+    alpha_t: float  # seconds / message
+    gamma_e: float  # joules / flop
+    beta_e: float  # joules / word
+    alpha_e: float  # joules / message
+    delta_e: float  # joules / (word * second)
+    epsilon_e: float  # joules / second (per-processor leakage)
+    memory_words: float  # M — words of memory per processor
+    max_message_words: float  # m — largest single message, in words
+
+    def __post_init__(self) -> None:
+        _require_positive("gamma_t", self.gamma_t)
+        _require_nonnegative("beta_t", self.beta_t)
+        _require_nonnegative("alpha_t", self.alpha_t)
+        _require_nonnegative("gamma_e", self.gamma_e)
+        _require_nonnegative("beta_e", self.beta_e)
+        _require_nonnegative("alpha_e", self.alpha_e)
+        _require_nonnegative("delta_e", self.delta_e)
+        _require_nonnegative("epsilon_e", self.epsilon_e)
+        _require_positive("memory_words (M)", self.memory_words)
+        _require_positive("max_message_words (m)", self.max_message_words)
+        if self.max_message_words > self.memory_words:
+            raise ParameterError(
+                "max_message_words (m) cannot exceed memory_words (M): "
+                f"m={self.max_message_words}, M={self.memory_words}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities used repeatedly by the closed forms of Section V
+    # ------------------------------------------------------------------
+
+    @property
+    def beta_t_eff(self) -> float:
+        """Effective time per word including amortized latency.
+
+        The paper repeatedly substitutes ``beta -> beta + alpha/m``
+        ("It can be added by substituting beta = beta*m + alpha" per
+        message of m words). This is the per-word view of that rule.
+        """
+        return self.beta_t + self.alpha_t / self.max_message_words
+
+    @property
+    def beta_e_eff(self) -> float:
+        """Effective energy per word including amortized message energy."""
+        return self.beta_e + self.alpha_e / self.max_message_words
+
+    @property
+    def comm_energy_per_word(self) -> float:
+        """B of Section V-C: (beta_e + beta_t*eps_e) + (alpha_e + alpha_t*eps_e)/m.
+
+        Energy attributable to moving one word: direct link energy plus
+        the leakage burned during the transfer time, with the message
+        overheads amortized over the largest message size.
+        """
+        return (
+            self.beta_e
+            + self.beta_t * self.epsilon_e
+            + (self.alpha_e + self.alpha_t * self.epsilon_e) / self.max_message_words
+        )
+
+    @property
+    def flop_energy(self) -> float:
+        """Energy attributable to one flop: gamma_e + gamma_t * eps_e."""
+        return self.gamma_e + self.gamma_t * self.epsilon_e
+
+    def replace(self, **changes: float) -> "MachineParameters":
+        """Return a copy with the given fields replaced (validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def scale(self, **factors: float) -> "MachineParameters":
+        """Return a copy with the named fields multiplied by the given factors.
+
+        Used by the Section VI technology-scaling studies, e.g.
+        ``machine.scale(gamma_e=0.5, beta_e=0.5, delta_e=0.5)`` models one
+        process generation in Fig. 7.
+        """
+        changes = {}
+        for name, factor in factors.items():
+            if not hasattr(self, name):
+                raise ParameterError(f"unknown parameter {name!r}")
+            _require_nonnegative(f"scale factor for {name}", factor)
+            changes[name] = getattr(self, name) * factor
+        return dataclasses.replace(self, **changes)
+
+    def peak_flops_per_watt(self) -> float:
+        """Peak compute efficiency gamma-only: 1 / (gamma_e) flops per joule.
+
+        This matches the paper's Table II definition: peak FP rate divided
+        by TDP equals 1/gamma_e when gamma_e is defined as TDP/peakFP.
+        """
+        if self.gamma_e == 0:
+            return math.inf
+        return 1.0 / self.gamma_e
+
+
+def effective_beta(beta: float, alpha: float, m: float) -> float:
+    """The paper's ``beta = beta*m + alpha`` substitution, per word.
+
+    Folding per-message latency/energy ``alpha`` into the per-word cost
+    assuming maximal m-word messages gives ``beta + alpha/m``.
+    """
+    if m <= 0:
+        raise ParameterError(f"message size m must be > 0, got {m!r}")
+    return beta + alpha / m
+
+
+@dataclass(frozen=True)
+class TwoLevelMachineParameters:
+    """Constants of the two-level (node x core) model of Fig. 2.
+
+    The machine has ``p_nodes`` nodes, each containing ``p_cores`` cores,
+    so ``p = p_nodes * p_cores`` processing elements in total. Internode
+    links have word/message time costs ``beta_t_node``/``alpha_t_node``
+    and energies ``beta_e_node``/``alpha_e_node``; intranode (core-to-
+    core) links have the ``*_core`` analogues. Each node has
+    ``memory_node`` words of node-level memory (cost ``delta_e_node``
+    J/word/s) and each core ``memory_core`` words of core-local memory
+    (cost ``delta_e_core``).
+
+    Superscripts n / l in the paper map to ``_node`` / ``_core`` here.
+    """
+
+    gamma_t: float
+    gamma_e: float
+    epsilon_e: float
+    # internode link
+    beta_t_node: float
+    alpha_t_node: float
+    beta_e_node: float
+    alpha_e_node: float
+    # intranode link
+    beta_t_core: float
+    alpha_t_core: float
+    beta_e_core: float
+    alpha_e_core: float
+    # memories
+    delta_e_node: float
+    delta_e_core: float
+    memory_node: float  # M_n, words per node
+    memory_core: float  # M_l, words per core
+    # topology
+    p_nodes: int
+    p_cores: int
+    # message caps
+    max_message_node: float = math.inf
+    max_message_core: float = math.inf
+
+    def __post_init__(self) -> None:
+        _require_positive("gamma_t", self.gamma_t)
+        for name in (
+            "gamma_e",
+            "epsilon_e",
+            "beta_t_node",
+            "alpha_t_node",
+            "beta_e_node",
+            "alpha_e_node",
+            "beta_t_core",
+            "alpha_t_core",
+            "beta_e_core",
+            "alpha_e_core",
+            "delta_e_node",
+            "delta_e_core",
+        ):
+            _require_nonnegative(name, getattr(self, name))
+        _require_positive("memory_node", self.memory_node)
+        _require_positive("memory_core", self.memory_core)
+        if self.p_nodes < 1 or self.p_cores < 1:
+            raise ParameterError(
+                f"p_nodes and p_cores must be >= 1, got {self.p_nodes}, {self.p_cores}"
+            )
+
+    @property
+    def p_total(self) -> int:
+        """Total processing elements p = p_nodes * p_cores."""
+        return self.p_nodes * self.p_cores
+
+    @property
+    def beta_t_node_eff(self) -> float:
+        """Internode seconds/word with latency amortized over max messages."""
+        if math.isinf(self.max_message_node):
+            return self.beta_t_node
+        return self.beta_t_node + self.alpha_t_node / self.max_message_node
+
+    @property
+    def beta_t_core_eff(self) -> float:
+        """Intranode seconds/word with latency amortized over max messages."""
+        if math.isinf(self.max_message_core):
+            return self.beta_t_core
+        return self.beta_t_core + self.alpha_t_core / self.max_message_core
+
+    @property
+    def beta_e_node_eff(self) -> float:
+        """Internode joules/word with message energy amortized."""
+        if math.isinf(self.max_message_node):
+            return self.beta_e_node
+        return self.beta_e_node + self.alpha_e_node / self.max_message_node
+
+    @property
+    def beta_e_core_eff(self) -> float:
+        """Intranode joules/word with message energy amortized."""
+        if math.isinf(self.max_message_core):
+            return self.beta_e_core
+        return self.beta_e_core + self.alpha_e_core / self.max_message_core
+
+    def replace(self, **changes) -> "TwoLevelMachineParameters":
+        """Return a copy with the given fields replaced (validated)."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,78 @@
+"""Average power P = E / T and budget inversions (introduction question 4).
+
+The paper treats power as the derived ratio of the Eq.-2 energy and the
+Eq.-1 runtime. This module provides that ratio for arbitrary cost
+models, plus the structural facts the Section-V arguments rely on:
+
+* At fixed (n, M) inside a perfect strong scaling range, E is constant
+  and T is proportional to 1/p, so P grows linearly with p — a total
+  power cap is a linear cap on p (Eq. 19 generalized).
+* Per-processor power P/p is independent of both n and p at fixed M for
+  the data-replicating algorithms, so a per-processor cap is purely a
+  cap on M (Section V-E).
+"""
+
+from __future__ import annotations
+
+from repro.core.costs import AlgorithmCosts
+from repro.core.energy import energy
+from repro.core.parameters import MachineParameters
+from repro.core.timing import runtime
+from repro.exceptions import ParameterError
+
+__all__ = ["average_power", "per_processor_power", "max_p_under_total_power"]
+
+
+def average_power(
+    costs: AlgorithmCosts,
+    machine: MachineParameters,
+    n: float,
+    p: float,
+    M: float,
+) -> float:
+    """Total average power P = E / T for the run (n, p, M), in watts."""
+    T = runtime(costs, machine, n, p, M).total
+    if T <= 0:
+        raise ParameterError("runtime is zero; power undefined")
+    E = energy(costs, machine, n, p, M).total
+    return E / T
+
+
+def per_processor_power(
+    costs: AlgorithmCosts,
+    machine: MachineParameters,
+    n: float,
+    p: float,
+    M: float,
+) -> float:
+    """Average power drawn by one processor, P / p."""
+    return average_power(costs, machine, n, p, M) / p
+
+
+def max_p_under_total_power(
+    costs: AlgorithmCosts,
+    machine: MachineParameters,
+    n: float,
+    M: float,
+    total_power: float,
+) -> float:
+    """Largest p within the perfect scaling range meeting a total power cap.
+
+    Uses the linearity of P in p at fixed (n, M): P(p) = p * P1 where P1
+    is the per-processor power (independent of p). The result is clamped
+    to the perfect scaling range [p_min, p_max]; raises
+    :class:`~repro.exceptions.ParameterError` if even p_min exceeds the
+    budget.
+    """
+    if total_power <= 0:
+        raise ParameterError(f"total_power must be > 0, got {total_power!r}")
+    p_lo = costs.p_min(n, M)
+    p_hi = costs.p_max_perfect(n, M)
+    p1 = per_processor_power(costs, machine, n, p_lo, M)
+    p_cap = total_power / p1
+    if p_cap < p_lo:
+        raise ParameterError(
+            f"total power {total_power!r} W below the {p_lo * p1!r} W needed "
+            f"for the minimum processor count {p_lo!r}"
+        )
+    return min(p_cap, p_hi)

@@ -1,0 +1,178 @@
+"""Perfect strong scaling analysis — the paper's headline theorem.
+
+An algorithm *perfectly strong scales* over a range of processor counts
+if, holding the problem size n and per-processor memory M fixed,
+multiplying p by a factor divides every term of the runtime (Eq. 1) by
+the same factor while every term of the energy (Eq. 2) is unchanged.
+
+This module provides:
+
+* :func:`perfect_scaling_range` — the [p_min, p_max] interval for a cost
+  model at a given (n, M).
+* :func:`in_perfect_scaling_range` — membership predicate.
+* :class:`ScalingRange` — the interval with its replication bounds.
+* :func:`bandwidth_cost_times_p` — the quantity plotted in Fig. 3:
+  ``W(p) * p`` which is flat inside the range and grows as
+  ``p^{1 - 2/omega0}`` beyond it (p^{1/3} for classical matmul).
+* :func:`figure3_series` lives in :mod:`repro.analysis.figures`; here we
+  provide the underlying pointwise evaluator.
+* :func:`verify_perfect_scaling` — numerically certify, for a concrete
+  machine, that T scales as 1/p and E is constant across a range
+  (used by tests and the benchmark harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import AlgorithmCosts
+from repro.core.energy import energy
+from repro.core.parameters import MachineParameters
+from repro.core.timing import runtime
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "ScalingRange",
+    "perfect_scaling_range",
+    "in_perfect_scaling_range",
+    "bandwidth_cost_times_p",
+    "verify_perfect_scaling",
+    "PerfectScalingReport",
+]
+
+
+@dataclass(frozen=True)
+class ScalingRange:
+    """The perfect strong scaling interval for fixed (n, M).
+
+    Attributes
+    ----------
+    p_min:
+        Fewest processors that fit the problem (c = 1, no replication).
+    p_max:
+        Most processors for which extra memory still pays (replication
+        saturates; e.g. c = p^{1/3} for classical matmul).
+    """
+
+    p_min: float
+    p_max: float
+
+    @property
+    def width_factor(self) -> float:
+        """p_max / p_min — how far perfect scaling extends (the maximum
+        replication factor c)."""
+        return self.p_max / self.p_min
+
+    def contains(self, p: float, tol: float = 1e-9) -> bool:
+        return self.p_min * (1 - tol) <= p <= self.p_max * (1 + tol)
+
+
+def perfect_scaling_range(costs: AlgorithmCosts, n: float, M: float) -> ScalingRange:
+    """[p_min, p_max] for which perfect strong scaling holds at memory M.
+
+    p_min inverts ``memory_min`` (one data copy fills memory); p_max
+    inverts ``memory_max`` (replication saturates). For classical matmul
+    these are n^2/M and n^3/M^{3/2}; for n-body n/M and n^2/M^2.
+    """
+    if n <= 0 or M <= 0:
+        raise ParameterError(f"n and M must be > 0, got n={n!r}, M={M!r}")
+    lo = costs.p_min(n, M)
+    hi = costs.p_max_perfect(n, M)
+    if hi < lo:
+        # Degenerate (e.g. FFT): no perfect scaling region.
+        hi = lo
+    return ScalingRange(p_min=lo, p_max=hi)
+
+
+def in_perfect_scaling_range(
+    costs: AlgorithmCosts, n: float, p: float, M: float, tol: float = 1e-9
+) -> bool:
+    """True iff p lies in the perfect strong scaling range at memory M."""
+    return perfect_scaling_range(costs, n, M).contains(p, tol=tol)
+
+
+def bandwidth_cost_times_p(
+    n: float, p: float, memory_cap: float, omega0: float = 3.0
+) -> float:
+    """The Fig. 3 ordinate: per-processor bandwidth cost times p.
+
+    With per-processor memory capped at ``memory_cap``, the algorithm
+    uses M = min(memory_cap, n^2/p^{2/omega0}) (as much replication as
+    is useful), giving
+
+        W * p = n^omega0 / M^{omega0/2 - 1}     (flat in p)  while
+                M = memory_cap, and
+        W * p = n^2 p^{1 - 2/omega0}            (growing)    beyond
+                p = n^omega0 / memory_cap^{omega0/2}.
+    """
+    if n <= 0 or p <= 0 or memory_cap <= 0:
+        raise ParameterError("n, p, memory_cap must all be > 0")
+    if not 2.0 < omega0 <= 3.0:
+        raise ParameterError(f"omega0 must be in (2, 3], got {omega0!r}")
+    M = min(memory_cap, n**2 / p ** (2.0 / omega0))
+    return n**omega0 / M ** (omega0 / 2.0 - 1.0)
+
+
+@dataclass(frozen=True)
+class PerfectScalingReport:
+    """Numerical certificate from :func:`verify_perfect_scaling`."""
+
+    p_values: tuple[float, ...]
+    times: tuple[float, ...]
+    energies: tuple[float, ...]
+    time_scaling_error: float  # max |T(p) * p / (T(p0) * p0) - 1|
+    energy_constancy_error: float  # max |E(p) / E(p0) - 1|
+
+    def is_perfect(self, tol: float = 1e-9) -> bool:
+        return (
+            self.time_scaling_error <= tol and self.energy_constancy_error <= tol
+        )
+
+
+def verify_perfect_scaling(
+    costs: AlgorithmCosts,
+    machine: MachineParameters,
+    n: float,
+    M: float,
+    p_values: list[float] | tuple[float, ...],
+) -> PerfectScalingReport:
+    """Certify perfect strong scaling numerically over given p values.
+
+    Every p must lie in the perfect scaling range for (n, M); the report
+    records the worst relative deviation of ``T(p) * p`` from constancy
+    (perfect time scaling) and of ``E(p)`` from constancy (no additional
+    energy).
+    """
+    if len(p_values) < 2:
+        raise ParameterError("need at least two p values to verify scaling")
+    rng = perfect_scaling_range(costs, n, M)
+    for p in p_values:
+        if not rng.contains(p):
+            raise ParameterError(
+                f"p={p!r} outside perfect scaling range "
+                f"[{rng.p_min!r}, {rng.p_max!r}] for n={n!r}, M={M!r}"
+            )
+    times = []
+    energies = []
+    for p in p_values:
+        times.append(runtime(costs, machine, n, p, M).total)
+        energies.append(energy(costs, machine, n, p, M).total)
+    tp0 = times[0] * p_values[0]
+    e0 = energies[0]
+    t_err = max(abs(t * p / tp0 - 1.0) for t, p in zip(times, p_values))
+    e_err = max(abs(e / e0 - 1.0) for e in energies)
+    return PerfectScalingReport(
+        p_values=tuple(float(p) for p in p_values),
+        times=tuple(times),
+        energies=tuple(energies),
+        time_scaling_error=t_err,
+        energy_constancy_error=e_err,
+    )
+
+
+def saturation_p(n: float, memory_cap: float, omega0: float = 3.0) -> float:
+    """The p beyond which extra memory cannot help (Fig. 3 knee):
+    p = n^omega0 / memory_cap^{omega0/2}."""
+    if n <= 0 or memory_cap <= 0:
+        raise ParameterError("n and memory_cap must be > 0")
+    return n**omega0 / memory_cap ** (omega0 / 2.0)

@@ -1,0 +1,106 @@
+"""Runtime model — Eq. (1) of the paper.
+
+    T = gamma_t * F + beta_t * W + alpha_t * S
+
+evaluated either from raw counts (:func:`runtime_from_counts`) or from an
+:class:`~repro.core.costs.AlgorithmCosts` expression
+(:func:`runtime`). A :class:`TimeBreakdown` records the three components
+so analyses (and tests) can reason about which term dominates.
+
+The model assumes no computation/communication overlap; the paper notes
+overlap could shave at most a constant factor of 2–3, which it omits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.costs import AlgorithmCosts, validate_memory
+from repro.core.parameters import MachineParameters
+from repro.exceptions import ParameterError
+
+__all__ = ["TimeBreakdown", "runtime", "runtime_from_counts"]
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """The three additive components of Eq. (1), in seconds."""
+
+    compute: float  # gamma_t * F
+    bandwidth: float  # beta_t * W
+    latency: float  # alpha_t * S
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.bandwidth + self.latency
+
+    def dominant_term(self) -> str:
+        """Name of the largest component ('compute'|'bandwidth'|'latency')."""
+        parts = {
+            "compute": self.compute,
+            "bandwidth": self.bandwidth,
+            "latency": self.latency,
+        }
+        return max(parts, key=parts.__getitem__)
+
+
+def runtime_from_counts(
+    machine: MachineParameters, F: float, W: float, S: float
+) -> TimeBreakdown:
+    """Evaluate Eq. (1) on raw per-processor counts.
+
+    Parameters
+    ----------
+    machine:
+        Machine constants (gamma_t, beta_t, alpha_t used).
+    F, W, S:
+        Per-processor flops, words sent, messages sent. Must be >= 0.
+    """
+    for name, v in (("F", F), ("W", W), ("S", S)):
+        if v < 0:
+            raise ParameterError(f"count {name} must be >= 0, got {v!r}")
+    return TimeBreakdown(
+        compute=machine.gamma_t * F,
+        bandwidth=machine.beta_t * W,
+        latency=machine.alpha_t * S,
+    )
+
+
+def runtime(
+    costs: AlgorithmCosts,
+    machine: MachineParameters,
+    n: float,
+    p: float,
+    M: float | None = None,
+    *,
+    check_memory: bool = True,
+) -> TimeBreakdown:
+    """Evaluate Eq. (1) for an algorithm's asymptotic costs.
+
+    Parameters
+    ----------
+    costs:
+        Algorithm cost expressions.
+    n, p:
+        Problem size and processor count.
+    M:
+        Per-processor memory to *use*. Defaults to ``machine.memory_words``
+        clamped into the algorithm's admissible range.
+    check_memory:
+        When True (default), raise
+        :class:`~repro.exceptions.MemoryRangeError` if M is outside the
+        admissible range. Set False for exploratory sweeps.
+    """
+    if M is None:
+        lo, hi = costs.memory_range(n, p)
+        M = min(max(machine.memory_words, lo), hi)
+    if M > machine.memory_words * (1 + 1e-12):
+        raise ParameterError(
+            f"requested M={M!r} exceeds physical memory {machine.memory_words!r}"
+        )
+    if check_memory:
+        validate_memory(costs, n, p, M)
+    F = costs.flops(n, p, M)
+    W = costs.words(n, p, M)
+    S = costs.messages(n, p, M, machine.max_message_words)
+    return runtime_from_counts(machine, F, W, S)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A machine or model parameter is invalid (negative cost, zero memory, ...)."""
+
+
+class InfeasibleError(ReproError, ValueError):
+    """An optimization question has no feasible answer.
+
+    Raised e.g. when an energy budget is below the unavoidable minimum
+    energy, or a runtime cap is below the minimum achievable runtime.
+    """
+
+
+class MemoryRangeError(ReproError, ValueError):
+    """A requested per-processor memory M lies outside the algorithm's
+    admissible range (below one-copy-of-the-data, or above the replication
+    saturation point)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The SPMD simulation substrate failed (rank raised, deadlock, ...)."""
+
+
+class DeadlockError(SimulationError):
+    """All live ranks are blocked waiting on communication that can never
+    be satisfied."""
+
+
+class RankFailedError(SimulationError):
+    """One or more ranks raised an exception during an SPMD run.
+
+    Attributes
+    ----------
+    failures:
+        Mapping ``rank -> exception`` of every rank that failed.
+    """
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        detail = "; ".join(
+            f"rank {r}: {type(e).__name__}: {e}" for r, e in sorted(failures.items())
+        )
+        super().__init__(f"{len(failures)} rank(s) failed: {detail}")
+
+
+class CommunicatorError(SimulationError):
+    """Misuse of a communicator (bad rank, bad tag, mismatched collective)."""

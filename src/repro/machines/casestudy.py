@@ -1,0 +1,193 @@
+"""Section VI case study — technology scaling on the Jaketown server.
+
+The paper evaluates 2.5D matrix multiplication on the dual-socket
+machine (p = 2 "processors" = sockets, n = 35000) and asks how the
+GFLOPS/W figure responds to halving the energy parameters once per
+process generation:
+
+* **Fig. 6** — halve gamma_e, beta_e, delta_e *independently*:
+  beta_e has almost no effect (the n^3/sqrt(M) term is tiny at
+  M = 2^34); gamma_e alone saturates once the memory term dominates.
+* **Fig. 7** — halve all three *together*: every energy term shrinks
+  2x per generation, so efficiency doubles per generation and crosses
+  the 75 GFLOPS/W target within a handful of generations.
+
+Efficiency here is model flops (n^3) divided by the Eq. (10) energy —
+time parameters held fixed, exactly as the paper does ("we hold the
+time parameters constant as well as the number of processors").
+"""
+
+from __future__ import annotations
+
+import math
+from repro.core.energy import energy_matmul_25d
+from repro.core.parameters import MachineParameters
+from repro.exceptions import InfeasibleError, ParameterError
+from repro.machines.catalog import JAKETOWN
+
+__all__ = [
+    "CASE_STUDY_N",
+    "CASE_STUDY_P",
+    "matmul_gflops_per_watt",
+    "scale_parameters_independently",
+    "scale_parameters_jointly",
+    "generations_to_target",
+]
+
+#: Problem size of Section VI.
+CASE_STUDY_N: int = 35000
+#: Sockets modeled as processors in Section VI.
+CASE_STUDY_P: int = 2
+
+#: Parameters Figs. 6-7 scale (the figure captions' gamma_e, beta_e, delta_e).
+SCALED_PARAMETERS: tuple[str, ...] = ("gamma_e", "beta_e", "delta_e")
+
+
+def matmul_gflops_per_watt(
+    machine: MachineParameters,
+    n: int = CASE_STUDY_N,
+    memory_words: float | None = None,
+) -> float:
+    """GFLOPS/W of 2.5D matmul under Eq. (10): n^3 flops / E(n, M) / 1e9.
+
+    GFLOPS/W equals flops-per-joule scaled by 1e-9 (flops/time divided
+    by energy/time). Defaults M to the machine's full memory, matching
+    the case study's use of all installed DRAM.
+    """
+    if n <= 0:
+        raise ParameterError(f"n must be > 0, got {n!r}")
+    M = machine.memory_words if memory_words is None else memory_words
+    e = energy_matmul_25d(machine, n, M)
+    return n**3 / e / 1e9
+
+
+def _halved(machine: MachineParameters, params: tuple[str, ...], generations: float):
+    factor = 0.5**generations
+    return machine.scale(**{name: factor for name in params})
+
+
+def scale_parameters_independently(
+    generations: int,
+    machine: MachineParameters = JAKETOWN,
+    n: int = CASE_STUDY_N,
+) -> dict[str, list[float]]:
+    """Fig. 6 series: GFLOPS/W after g in [0 .. generations] halvings of
+    each of gamma_e, beta_e, delta_e alone.
+
+    Returns ``{"gamma_e": [...], "beta_e": [...], "delta_e": [...]}``,
+    each list indexed by generation (g = 0 is today's machine).
+    """
+    if generations < 0:
+        raise ParameterError(f"generations must be >= 0, got {generations!r}")
+    out: dict[str, list[float]] = {}
+    for name in SCALED_PARAMETERS:
+        series = [
+            matmul_gflops_per_watt(_halved(machine, (name,), g), n)
+            for g in range(generations + 1)
+        ]
+        out[name] = series
+    return out
+
+
+def scale_parameters_jointly(
+    generations: int,
+    machine: MachineParameters = JAKETOWN,
+    n: int = CASE_STUDY_N,
+) -> list[float]:
+    """Fig. 7 series: GFLOPS/W after g joint halvings of gamma_e, beta_e
+    and delta_e (g = 0 .. generations).
+
+    With alpha_e = eps_e = 0 (Table I) every energy term carries one of
+    the scaled parameters, so the series doubles each generation
+    exactly.
+    """
+    if generations < 0:
+        raise ParameterError(f"generations must be >= 0, got {generations!r}")
+    return [
+        matmul_gflops_per_watt(_halved(machine, SCALED_PARAMETERS, g), n)
+        for g in range(generations + 1)
+    ]
+
+
+def generations_to_target(
+    target_gflops_per_watt: float,
+    machine: MachineParameters = JAKETOWN,
+    n: int = CASE_STUDY_N,
+    max_generations: int = 60,
+) -> float:
+    """Fractional generations of joint halving needed to reach a target.
+
+    Solves efficiency(g) = target for real g; with Table I's zeros this
+    is exact (efficiency doubles per generation):
+    g = log2(target / efficiency(0)). Raises
+    :class:`~repro.exceptions.InfeasibleError` if the target is not
+    reached within ``max_generations``.
+    """
+    if target_gflops_per_watt <= 0:
+        raise ParameterError("target must be > 0")
+    base = matmul_gflops_per_watt(machine, n)
+    if base >= target_gflops_per_watt:
+        return 0.0
+    # Bisection on real-valued g (robust also when alpha_e/eps_e != 0).
+    lo, hi = 0.0, float(max_generations)
+    if matmul_gflops_per_watt(_halved(machine, SCALED_PARAMETERS, hi), n) < (
+        target_gflops_per_watt
+    ):
+        raise InfeasibleError(
+            f"target {target_gflops_per_watt} GFLOPS/W not reachable within "
+            f"{max_generations} generations (time-side parameters bind)"
+        )
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if matmul_gflops_per_watt(_halved(machine, SCALED_PARAMETERS, mid), n) >= (
+            target_gflops_per_watt
+        ):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def efficiency_saturation_limit(
+    parameter: str,
+    machine: MachineParameters = JAKETOWN,
+    n: int = CASE_STUDY_N,
+) -> float:
+    """Asymptotic GFLOPS/W when ``parameter`` alone is scaled to zero.
+
+    Quantifies Fig. 6's saturation: e.g. zeroing gamma_e leaves the
+    delta_e memory energy, capping the benefit of compute-only
+    improvements.
+    """
+    if parameter not in SCALED_PARAMETERS:
+        raise ParameterError(
+            f"parameter must be one of {SCALED_PARAMETERS}, got {parameter!r}"
+        )
+    zeroed = machine.scale(**{parameter: 0.0})
+    return matmul_gflops_per_watt(zeroed, n)
+
+
+def crossover_generation_table(
+    machine: MachineParameters = JAKETOWN,
+    n: int = CASE_STUDY_N,
+    target: float = 75.0,
+    generations: int = 10,
+) -> dict[str, object]:
+    """Bundle of everything Figs. 6-7 report, for the bench harness."""
+    independent = scale_parameters_independently(generations, machine, n)
+    joint = scale_parameters_jointly(generations, machine, n)
+    saturation = {
+        name: efficiency_saturation_limit(name, machine, n)
+        for name in SCALED_PARAMETERS
+    }
+    try:
+        cross = generations_to_target(target, machine, n)
+    except InfeasibleError:
+        cross = math.inf
+    return {
+        "independent": independent,
+        "joint": joint,
+        "saturation": saturation,
+        "target": target,
+        "generations_to_target": cross,
+    }

@@ -1,0 +1,171 @@
+"""Machine presets for the "various processing environments" study.
+
+Section VII asks about "the effect of poor latency scaling by 2.5D LU
+in various processing environments (embedded, cluster, cloud)". These
+presets give each environment a defensible parameter vector so the
+question can be answered quantitatively with the existing cost models
+(see :func:`lu_latency_environment_study`).
+
+The three environments differ mainly in their *latency/compute ratio*
+alpha_t/gamma_t and their energy structure:
+
+* **EMBEDDED** — SoC with an on-die network: tiny latency (tens of ns),
+  modest flops, tight memory, low leakage.
+* **CLUSTER** — HPC machine with a fast interconnect: microsecond
+  latency, fast nodes, large memory (Table I's flavor).
+* **CLOUD** — commodity datacenter with TCP-ish networking: tens of
+  microseconds of latency and higher per-word costs.
+
+These are *representative* vectors (order-of-magnitude realism, exact
+values documented inline), not vendor measurements; the study's output
+is the ratio structure, which is robust to constant-factor changes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+
+from repro.core.costs import ClassicalMatMulCosts, LU25DCosts
+from repro.core.parameters import MachineParameters
+from repro.core.timing import runtime
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "EMBEDDED",
+    "CLUSTER",
+    "CLOUD",
+    "ENVIRONMENTS",
+    "LatencyStudyRow",
+    "lu_latency_environment_study",
+]
+
+#: ARM-class SoC, network-on-chip (ns latency, GB/s links, ~1 GFLOP/s/core).
+EMBEDDED = MachineParameters(
+    gamma_t=2.5e-10,  # ~4 GFLOP/s per element
+    beta_t=2e-9,  # ~2 GB/s per link, 4B words
+    alpha_t=5e-8,  # 50 ns on-die message
+    gamma_e=2e-10,  # ~5 GFLOPS/W class (Table II ARM rows)
+    beta_e=5e-11,
+    alpha_e=1e-9,
+    delta_e=1e-9,
+    epsilon_e=1e-2,
+    memory_words=2.0**28,  # ~1 GiB of 4B words
+    max_message_words=2.0**16,
+)
+
+#: HPC cluster node (Table I flavor: fast cores, fast fabric, big DRAM).
+CLUSTER = MachineParameters(
+    gamma_t=2.5e-12,
+    beta_t=1.6e-10,
+    alpha_t=1e-6,  # ~1 us MPI latency
+    gamma_e=3.8e-10,
+    beta_e=3.4e-10,
+    alpha_e=1e-7,
+    delta_e=5.8e-9,
+    epsilon_e=10.0,  # node idle draw
+    memory_words=2.0**34,
+    max_message_words=2.0**20,
+)
+
+#: Commodity cloud VM (similar silicon, far worse network).
+CLOUD = MachineParameters(
+    gamma_t=4e-12,
+    beta_t=3.2e-9,  # ~1.25 GB/s effective
+    alpha_t=5e-5,  # ~50 us TCP round
+    gamma_e=5e-10,
+    beta_e=2e-9,
+    alpha_e=1e-5,
+    delta_e=6e-9,
+    epsilon_e=20.0,
+    memory_words=2.0**33,
+    max_message_words=2.0**18,
+)
+
+ENVIRONMENTS: dict[str, MachineParameters] = {
+    "embedded": EMBEDDED,
+    "cluster": CLUSTER,
+    "cloud": CLOUD,
+}
+
+
+@dataclass(frozen=True)
+class LatencyStudyRow:
+    """One environment's verdict on the 2.5D LU latency term.
+
+    ``crossover_p`` is the processor count at which the non-scaling
+    alpha_t * sqrt(c p) term reaches half of LU's total runtime (with c
+    data copies, M = c n^2 / p per processor). Beyond it, adding
+    processors mostly burns latency — the environment's effective
+    strong-scaling ceiling for LU. ``latency_fraction_at_ref`` reports
+    the term's share at a common reference scale for comparison.
+    """
+
+    environment: str
+    c: float
+    crossover_p: float
+    reference_p: float
+    latency_fraction_at_ref: float
+    lu_penalty_at_ref: float  # LU time / matmul time at the reference p
+
+
+def _lu_latency_fraction(machine: MachineParameters, n: float, p: float, c: float) -> float:
+    M = c * n**2 / p
+    t = runtime(LU25DCosts(), machine, n, p, M, check_memory=False)
+    return t.latency / t.total
+
+
+def lu_latency_environment_study(
+    n: float = 50_000.0,
+    c: float = 4.0,
+    reference_p: float = 4096.0,
+) -> list[LatencyStudyRow]:
+    """The Section VII open problem, answered: where does 2.5D LU's
+    non-scaling latency term bite in embedded / cluster / cloud settings?
+
+    For each environment we strong-scale LU with c data copies
+    (M = c n^2/p) and locate the p at which the alpha_t sqrt(cp) term
+    reaches 50 % of the runtime. On-die networks (embedded) push the
+    crossover out by orders of magnitude relative to cloud networking —
+    the quantitative content of the paper's "depends on the machine
+    constants" remark.
+    """
+    if c < 1:
+        raise ParameterError(f"replication c must be >= 1, got {c!r}")
+    rows = []
+    for name, machine in ENVIRONMENTS.items():
+        p_lo = max(c**3, c * n**2 / machine.memory_words, 1.0)
+        p_hi = c * n**2  # M = 1 word: the absolute end of the road
+        frac_lo = _lu_latency_fraction(machine, n, p_lo, c)
+        frac_hi = _lu_latency_fraction(machine, n, p_hi, c)
+        if frac_lo >= 0.5:
+            crossover = p_lo
+        elif frac_hi < 0.5:
+            crossover = math.inf
+        else:
+            lo, hi = p_lo, p_hi
+            for _ in range(200):
+                mid = math.sqrt(lo * hi)
+                if _lu_latency_fraction(machine, n, mid, c) < 0.5:
+                    lo = mid
+                else:
+                    hi = mid
+            crossover = hi
+        ref = min(max(reference_p, p_lo), p_hi)
+        M_ref = c * n**2 / ref
+        t_lu = runtime(LU25DCosts(), machine, n, ref, M_ref, check_memory=False)
+        t_mm = runtime(
+            ClassicalMatMulCosts(), machine, n, ref, M_ref, check_memory=False
+        )
+        rows.append(
+            LatencyStudyRow(
+                environment=name,
+                c=c,
+                crossover_p=crossover,
+                reference_p=ref,
+                latency_fraction_at_ref=t_lu.latency / t_lu.total,
+                lu_penalty_at_ref=t_lu.total / t_mm.total,
+            )
+        )
+    return rows

@@ -1,0 +1,22 @@
+"""The sequential two-level machine of Fig. 1(a): a metered fast/slow
+memory and communication-avoiding vs oblivious sequential kernels."""
+
+from repro.sequential.blocked_matmul import (
+    blocked_matmul,
+    blocked_traffic_model,
+    naive_matmul,
+    optimal_block_size,
+)
+from repro.sequential.cache import CacheStats, FastMemory
+from repro.sequential.matvec import matvec, matvec_traffic_model
+
+__all__ = [
+    "FastMemory",
+    "CacheStats",
+    "blocked_matmul",
+    "naive_matmul",
+    "optimal_block_size",
+    "blocked_traffic_model",
+    "matvec",
+    "matvec_traffic_model",
+]

@@ -1,0 +1,127 @@
+"""Fast/slow memory simulation — the sequential model of Fig. 1(a).
+
+The sequential communication lower bounds of Section III (Eq. 3/4,
+Hong & Kung's red-blue pebble game) speak about words moved between a
+small *fast* memory of M words and an unbounded *slow* memory.
+:class:`FastMemory` simulates exactly that: an LRU-managed fast memory
+holding named blocks; every miss/load and every writeback is metered in
+words, so a sequential algorithm's W can be measured and compared with
+Eq. (3)'s ``W >= F / sqrt(M)``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.exceptions import ParameterError
+
+__all__ = ["FastMemory", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Word traffic between slow and fast memory."""
+
+    words_loaded: int = 0
+    words_stored: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def words_moved(self) -> int:
+        """Total traffic W (loads + writebacks)."""
+        return self.words_loaded + self.words_stored
+
+
+class FastMemory:
+    """An LRU fast memory of ``capacity`` words holding named blocks.
+
+    Blocks are opaque (identified by hashable keys, sized in words);
+    algorithms call :meth:`touch` before operating on a block. Dirty
+    blocks write back on eviction; :meth:`flush` writes back everything
+    (end-of-algorithm accounting).
+    """
+
+    def __init__(self, capacity: float):
+        if capacity <= 0:
+            raise ParameterError(f"fast memory capacity must be > 0, got {capacity!r}")
+        self.capacity = float(capacity)
+        self.stats = CacheStats()
+        self._resident: OrderedDict[Hashable, tuple[int, bool]] = OrderedDict()
+        self._used = 0
+
+    @property
+    def used_words(self) -> int:
+        return self._used
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self._resident
+
+    def touch(self, key: Hashable, words: int, write: bool = False) -> None:
+        """Access block ``key`` of ``words`` words.
+
+        A hit refreshes LRU order (and marks dirty on writes). A miss
+        loads the block from slow memory (metered), evicting LRU blocks
+        as needed (metering dirty writebacks). A block larger than the
+        whole fast memory is rejected — the algorithm's blocking factor
+        is wrong.
+        """
+        if words <= 0:
+            raise ParameterError(f"block size must be > 0 words, got {words!r}")
+        if words > self.capacity:
+            raise ParameterError(
+                f"block of {words} words exceeds fast memory ({self.capacity})"
+            )
+        if key in self._resident:
+            old_words, dirty = self._resident.pop(key)
+            if old_words != words:
+                raise ParameterError(
+                    f"block {key!r} resized from {old_words} to {words} words"
+                )
+            self._resident[key] = (words, dirty or write)
+            self.stats.hits += 1
+            return
+        self.stats.misses += 1
+        self._evict_until_fits(words)
+        self._resident[key] = (words, write)
+        self._used += words
+        self.stats.words_loaded += words
+
+    def create(self, key: Hashable, words: int) -> None:
+        """Allocate a fresh (zero) block in fast memory without a load —
+        for outputs that do not need their old contents (beta = 0
+        accumulators). Marked dirty."""
+        if key in self._resident:
+            raise ParameterError(f"block {key!r} already resident")
+        if words <= 0 or words > self.capacity:
+            raise ParameterError(
+                f"bad block size {words!r} for capacity {self.capacity!r}"
+            )
+        self.stats.misses += 1
+        self._evict_until_fits(words)
+        self._resident[key] = (words, True)
+        self._used += words
+
+    def evict(self, key: Hashable) -> None:
+        """Explicitly evict one block (writing back if dirty)."""
+        if key not in self._resident:
+            raise ParameterError(f"block {key!r} not resident")
+        words, dirty = self._resident.pop(key)
+        self._used -= words
+        if dirty:
+            self.stats.words_stored += words
+
+    def flush(self) -> None:
+        """Write back all dirty blocks and empty the fast memory."""
+        for key in list(self._resident):
+            self.evict(key)
+
+    def _evict_until_fits(self, words: int) -> None:
+        while self._used + words > self.capacity:
+            victim, (vwords, dirty) = next(iter(self._resident.items()))
+            self._resident.pop(victim)
+            self._used -= vwords
+            if dirty:
+                self.stats.words_stored += vwords

@@ -1,0 +1,55 @@
+"""Matrix-vector multiplication — the I/O-dominated branch of Eq. (3).
+
+For BLAS2 operations the paper notes the input/output term of
+W = max(I + O, F / sqrt(M)) is the binding one: a matvec does F = 2 n^2
+flops over I + O = n^2 + 2n words, so no amount of fast memory can
+reduce its traffic below ~n^2 — there is nothing to avoid. This module
+measures exactly that on the :class:`~repro.sequential.cache.FastMemory`
+substrate, complementing the matmul kernels where blocking wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.sequential.cache import FastMemory
+
+__all__ = ["matvec", "matvec_traffic_model"]
+
+
+def matvec_traffic_model(n: int) -> float:
+    """Compulsory traffic: the matrix once plus vector in/out = n^2 + 2n."""
+    return float(n * n + 2 * n)
+
+
+def matvec(a: np.ndarray, x: np.ndarray, fast: FastMemory) -> np.ndarray:
+    """y = A @ x with row-panel streaming through fast memory.
+
+    Rows stream through once (each row is touched exactly one time), the
+    input vector is loaded once and pinned by frequency of use, and the
+    output is created in fast memory — total traffic ~ n^2 + 2n words
+    regardless of the fast memory size above the minimum (one row + x +
+    y must fit).
+    """
+    if a.ndim != 2:
+        raise ParameterError(f"matrix must be 2-D, got shape {a.shape}")
+    m, n = a.shape
+    if x.shape != (n,):
+        raise ParameterError(f"vector shape {x.shape} incompatible with {a.shape}")
+    if fast.capacity < 2 * n + m:
+        raise ParameterError(
+            f"fast memory ({fast.capacity} words) cannot hold a row plus "
+            f"both vectors ({2 * n + m} words)"
+        )
+    y = np.empty(m, dtype=np.result_type(a, x))
+    fast.touch("x", n)
+    fast.create("y", m)
+    for i in range(m):
+        fast.touch("x", n)
+        fast.touch("y", m, write=True)
+        fast.touch(("row", i), n)
+        y[i] = a[i] @ x
+    fast.evict("y")
+    fast.flush()
+    return y

@@ -1,0 +1,49 @@
+"""simmpi — a metered, simulated message-passing machine.
+
+A thread-backed stand-in for an MPI cluster: SPMD programs written
+against :class:`Comm` (mpi4py-like API) run on simulated ranks while
+every flop, word and message is counted exactly — the quantities the
+paper's time (Eq. 1) and energy (Eq. 2) models consume.
+
+Quick example::
+
+    from repro.simmpi import run_spmd
+
+    def hello(comm):
+        peers = comm.allgather(comm.rank)
+        return sum(peers)
+
+    out = run_spmd(4, hello)
+    assert out.results == (6, 6, 6, 6)
+    out.report.max_words  # measured W per the model
+"""
+
+from repro.simmpi.cart import CartComm, factor_grid
+from repro.simmpi.comm import Comm
+from repro.simmpi.counters import CostCounter, CounterSnapshot
+from repro.simmpi.engine import SpmdResult, run_spmd
+from repro.simmpi.envelope import Envelope
+from repro.simmpi.mailbox import ANY_TAG, Mailbox
+from repro.simmpi.payload import copy_payload, message_count, payload_words
+from repro.simmpi.request import Request
+from repro.simmpi.trace import TraceReport
+from repro.simmpi.world import World
+
+__all__ = [
+    "Comm",
+    "CartComm",
+    "factor_grid",
+    "run_spmd",
+    "SpmdResult",
+    "TraceReport",
+    "CostCounter",
+    "CounterSnapshot",
+    "World",
+    "Mailbox",
+    "ANY_TAG",
+    "Request",
+    "Envelope",
+    "payload_words",
+    "copy_payload",
+    "message_count",
+]

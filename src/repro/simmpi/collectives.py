@@ -1,0 +1,406 @@
+"""Collective communication algorithms, built on metered point-to-point.
+
+Every collective here is implemented with real message-passing
+algorithms so the simulator's word/message tallies reflect what a
+production MPI would do:
+
+=============== ======================= =============================
+collective      algorithm               per-rank cost (k-word payload)
+=============== ======================= =============================
+barrier         dissemination           S = ceil(log2 p), W = 0
+bcast           binomial doubling tree  S <= log2 p, W <= k log2 p (root k)
+reduce          binomial folding tree   S <= log2 p, W <= k log2 p
+allreduce       reduce + bcast          2x the above
+allgather       ring                    S = p-1, W = (p-1) k
+gather          direct to root          1 send / p-1 recvs
+scatter         direct from root        p-1 sends / 1 recv
+alltoall        cyclic pairwise         S = p-1, W = (p-1) k
+alltoall_bruck  Bruck (p = 2^j)         S = log2 p, W = (p/2) k log2 p
+=============== ======================= =============================
+
+(k here is the per-destination block size for the all-to-alls.)
+
+The two all-to-all variants realize the FFT trade-off of Section IV: the
+cyclic pairwise exchange is the "naive" W = n/p, S = p choice and Bruck
+is the "tree-based" W = n log p / p, S = log p choice.
+
+Reduction operators receive ``(accumulator, incoming)`` and must return
+the combined value; :data:`SUM` flop-counts elementwise additions via
+the rank's counter, which the comm layer passes in as ``ctx``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import CommunicatorError
+from repro.simmpi.payload import copy_payload
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "allgather",
+    "gather",
+    "scatter",
+    "alltoall",
+    "alltoall_bruck",
+    "sum_op",
+]
+
+ReduceOp = Callable[[Any, Any], Any]
+
+
+def sum_op(acc: Any, inc: Any) -> Any:
+    """Elementwise sum reduction for arrays and scalars."""
+    if isinstance(acc, np.ndarray):
+        return acc + inc
+    return acc + inc
+
+
+def _vrank(rank: int, root: int, size: int) -> int:
+    return (rank - root) % size
+
+
+def _wrank(vrank: int, root: int, size: int) -> int:
+    return (vrank + root) % size
+
+
+def barrier(comm) -> None:
+    """Dissemination barrier: ceil(log2 p) zero-word rounds."""
+    p = comm.size
+    if p == 1:
+        return
+    step = 1
+    while step < p:
+        dest = (comm.rank + step) % p
+        src = (comm.rank - step) % p
+        comm.send(None, dest, tag=("_barrier", step))
+        comm.recv(src, tag=("_barrier", step))
+        step <<= 1
+
+
+def bcast(comm, obj: Any, root: int = 0, algorithm: str = "binomial") -> Any:
+    """Broadcast; returns the object on every rank.
+
+    algorithm:
+      * "binomial" (default) — log2 p rounds; the root sends up to
+        log2 p copies (best for small payloads).
+      * "scatter_allgather" — van de Geijn large-message broadcast: the
+        root scatters p chunks, then a ring allgather reassembles them.
+        Per-rank traffic ~2x the payload *independent of p* — the
+        large-message cost the paper's W expressions assume. Requires an
+        ndarray payload on the root.
+    """
+    p = comm.size
+    _check_root(root, p)
+    if p == 1:
+        return copy_payload(obj)
+    if algorithm == "scatter_allgather":
+        return _bcast_scatter_allgather(comm, obj, root)
+    if algorithm != "binomial":
+        raise CommunicatorError(f"unknown bcast algorithm {algorithm!r}")
+    me = _vrank(comm.rank, root, p)
+    mask = 1
+    while mask < p:
+        if me < mask:
+            peer = me + mask
+            if peer < p:
+                comm.send(obj, _wrank(peer, root, p), tag=("_bcast", mask))
+        elif me < 2 * mask:
+            obj = comm.recv(_wrank(me - mask, root, p), tag=("_bcast", mask))
+        mask <<= 1
+    return copy_payload(obj) if comm.rank == root else obj
+
+
+def _bcast_scatter_allgather(comm, obj: Any, root: int) -> Any:
+    p = comm.size
+    if comm.rank == root:
+        if not isinstance(obj, np.ndarray):
+            raise CommunicatorError(
+                "scatter_allgather bcast needs an ndarray payload, got "
+                f"{type(obj).__name__}"
+            )
+        shape, dtype = obj.shape, obj.dtype
+        chunks = np.array_split(np.ascontiguousarray(obj).ravel(), p)
+        meta = (shape, str(dtype), [len(c) for c in chunks])
+    else:
+        chunks = meta = None
+    # Tiny metadata rides a binomial bcast (metered: a few words).
+    meta = bcast(comm, meta, root=root, algorithm="binomial")
+    shape, dtype, lengths = meta
+    my_chunk = scatter(comm, chunks, root=root)
+    pieces = allgather(comm, my_chunk)
+    flat = np.concatenate(pieces)
+    return flat.reshape(shape).astype(dtype, copy=False)
+
+
+def reduce(
+    comm, obj: Any, op: ReduceOp = sum_op, root: int = 0, algorithm: str = "binomial"
+) -> Any:
+    """Reduction; the combined value lands on ``root`` (None elsewhere).
+
+    algorithm:
+      * "binomial" (default) — log2 p rounds, each moving the whole
+        payload (best for small payloads).
+      * "reduce_scatter_gather" — ring reduce-scatter followed by a
+        gather of the owned chunks: per-rank traffic ~2x the payload
+        independent of p (the large-message regime of the models).
+        Requires ndarray payloads and the default sum op.
+    """
+    p = comm.size
+    _check_root(root, p)
+    if algorithm == "reduce_scatter_gather":
+        return _reduce_scatter_gather(comm, obj, op, root)
+    if algorithm != "binomial":
+        raise CommunicatorError(f"unknown reduce algorithm {algorithm!r}")
+    acc = copy_payload(obj)
+    if p == 1:
+        return acc
+    me = _vrank(comm.rank, root, p)
+    mask = 1
+    while mask < p:
+        if me & mask:
+            comm.send(acc, _wrank(me - mask, root, p), tag=("_reduce", mask))
+            return None
+        peer = me + mask
+        if peer < p:
+            inc = comm.recv(_wrank(peer, root, p), tag=("_reduce", mask))
+            acc = op(acc, inc)
+        mask <<= 1
+    return acc if comm.rank == root else None
+
+
+def _reduce_scatter_gather(comm, obj: Any, op: ReduceOp, root: int) -> Any:
+    p = comm.size
+    if not isinstance(obj, np.ndarray):
+        raise CommunicatorError(
+            "reduce_scatter_gather needs an ndarray payload, got "
+            f"{type(obj).__name__}"
+        )
+    if p == 1:
+        return copy_payload(obj)
+    r = comm.rank
+    shape, dtype = obj.shape, obj.dtype
+    acc = [np.array(c, copy=True) for c in np.array_split(obj.ravel(), p)]
+    right, left = (r + 1) % p, (r - 1) % p
+    # Ring reduce-scatter: after p-1 steps rank r owns reduced chunk (r+1)%p.
+    for s in range(1, p):
+        send_idx = (r - s + 1) % p
+        recv_idx = (r - s) % p
+        comm.send(acc[send_idx], right, tag=("_rsg", s))
+        incoming = comm.recv(left, tag=("_rsg", s))
+        acc[recv_idx] = op(acc[recv_idx], incoming)
+    owned_idx = (r + 1) % p
+    # Gather the owned chunks at the root.
+    if r != root:
+        comm.send((owned_idx, acc[owned_idx]), root, tag="_rsg_gather")
+        return None
+    chunks: list = [None] * p
+    chunks[owned_idx] = acc[owned_idx]
+    for src in range(p):
+        if src != root:
+            idx, chunk = comm.recv(src, tag="_rsg_gather")
+            chunks[idx] = chunk
+    return np.concatenate(chunks).reshape(shape).astype(dtype, copy=False)
+
+
+def allreduce(
+    comm, obj: Any, op: ReduceOp = sum_op, algorithm: str = "reduce_bcast"
+) -> Any:
+    """All-reduce: the combined value on every rank.
+
+    algorithm:
+      * "reduce_bcast" (default) — binomial reduce then broadcast
+        (2 log2 p rounds, works for any op/payload).
+      * "recursive_doubling" — log2 p rounds of pairwise exchanges, each
+        moving the whole payload both ways; power-of-two sizes fold the
+        excess ranks in/out first. Halves the root bottleneck and the
+        round count for large payloads.
+    """
+    if algorithm == "reduce_bcast":
+        return bcast(comm, reduce(comm, obj, op=op, root=0), root=0)
+    if algorithm != "recursive_doubling":
+        raise CommunicatorError(f"unknown allreduce algorithm {algorithm!r}")
+    return _allreduce_recursive_doubling(comm, obj, op)
+
+
+def _allreduce_recursive_doubling(comm, obj: Any, op: ReduceOp) -> Any:
+    p = comm.size
+    acc = copy_payload(obj)
+    if p == 1:
+        return acc
+    # Largest power of two <= p; extras fold into the lower half first.
+    k = 1
+    while k * 2 <= p:
+        k *= 2
+    me = comm.rank
+    extra = p - k
+    if me >= k:
+        comm.send(acc, me - k, tag=("_rd", "fold"))
+        return comm.recv(me - k, tag=("_rd", "unfold"))
+    if me < extra:
+        inc = comm.recv(me + k, tag=("_rd", "fold"))
+        acc = op(acc, inc)
+    mask = 1
+    while mask < k:
+        partner = me ^ mask
+        inc = comm.sendrecv(
+            acc, partner, partner, sendtag=("_rd", mask), recvtag=("_rd", mask)
+        )
+        acc = op(acc, inc)
+        mask <<= 1
+    if me < extra:
+        comm.send(acc, me + k, tag=("_rd", "unfold"))
+    return acc
+
+
+def reduce_scatter(comm, obj: Any, op: ReduceOp = sum_op) -> Any:
+    """Ring reduce-scatter: every rank ends with its own fully reduced
+    chunk of the elementwise sum (rank r owns chunk r of the p-way
+    array_split). ndarray payloads only; p-1 rounds of size/p words —
+    the building block of the large-message reduce.
+    """
+    p = comm.size
+    if not isinstance(obj, np.ndarray):
+        raise CommunicatorError(
+            f"reduce_scatter needs an ndarray payload, got {type(obj).__name__}"
+        )
+    if p == 1:
+        return copy_payload(obj)
+    r = comm.rank
+    acc = [np.array(c, copy=True) for c in np.array_split(obj.ravel(), p)]
+    right, left = (r + 1) % p, (r - 1) % p
+    for s in range(1, p):
+        send_idx = (r - s + 1) % p
+        recv_idx = (r - s) % p
+        comm.send(acc[send_idx], right, tag=("_rs", s))
+        incoming = comm.recv(left, tag=("_rs", s))
+        acc[recv_idx] = op(acc[recv_idx], incoming)
+    # After p-1 steps rank r holds reduced chunk (r+1)%p; rotate the
+    # ownership index so rank r reports chunk r (one extra hop).
+    owned = acc[(r + 1) % p]
+    comm.send(owned, right, tag=("_rs", "rot"))
+    return comm.recv(left, tag=("_rs", "rot"))
+
+
+def allgather(comm, obj: Any) -> list:
+    """Ring allgather: p-1 rounds, each forwarding one block.
+
+    Returns the list of every rank's contribution, indexed by rank.
+    """
+    p = comm.size
+    out: list = [None] * p
+    out[comm.rank] = copy_payload(obj)
+    if p == 1:
+        return out
+    right = (comm.rank + 1) % p
+    left = (comm.rank - 1) % p
+    carrying = comm.rank
+    block = obj
+    for step in range(p - 1):
+        comm.send(block, right, tag=("_allgather", step))
+        block = comm.recv(left, tag=("_allgather", step))
+        carrying = (carrying - 1) % p
+        out[carrying] = block
+    return out
+
+
+def gather(comm, obj: Any, root: int = 0) -> list | None:
+    """Direct gather to root; returns the rank-indexed list on root."""
+    p = comm.size
+    _check_root(root, p)
+    if comm.rank != root:
+        comm.send(obj, root, tag="_gather")
+        return None
+    out: list = [None] * p
+    out[root] = copy_payload(obj)
+    for r in range(p):
+        if r != root:
+            out[r] = comm.recv(r, tag="_gather")
+    return out
+
+
+def scatter(comm, objs: Sequence[Any] | None, root: int = 0) -> Any:
+    """Direct scatter from root; rank r receives ``objs[r]``."""
+    p = comm.size
+    _check_root(root, p)
+    if comm.rank == root:
+        if objs is None or len(objs) != p:
+            raise CommunicatorError(
+                f"scatter root needs a length-{p} sequence, got "
+                f"{None if objs is None else len(objs)}"
+            )
+        for r in range(p):
+            if r != root:
+                comm.send(objs[r], r, tag="_scatter")
+        return copy_payload(objs[root])
+    return comm.recv(root, tag="_scatter")
+
+
+def alltoall(comm, blocks: Sequence[Any]) -> list:
+    """Cyclic pairwise all-to-all: rank r sends ``blocks[d]`` to d.
+
+    p-1 rounds; in round k each rank exchanges with (rank + k) mod p /
+    (rank - k) mod p. This is the FFT section's "naive" all-to-all:
+    every rank sends p-1 separate messages.
+    """
+    p = comm.size
+    if len(blocks) != p:
+        raise CommunicatorError(
+            f"alltoall needs one block per rank ({p}), got {len(blocks)}"
+        )
+    out: list = [None] * p
+    out[comm.rank] = copy_payload(blocks[comm.rank])
+    for k in range(1, p):
+        dest = (comm.rank + k) % p
+        src = (comm.rank - k) % p
+        comm.send(blocks[dest], dest, tag=("_a2a", k))
+        out[src] = comm.recv(src, tag=("_a2a", k))
+    return out
+
+
+def alltoall_bruck(comm, blocks: Sequence[Any]) -> list:
+    """Bruck all-to-all: log2 p rounds of bulk exchanges (p must be 2^j).
+
+    In round k (mask 2^k) each rank ships every block whose relative
+    destination has bit k set — p/2 blocks per round — to the rank
+    mask steps away. Message count log2 p at the price of each word
+    traveling up to log2 p hops: the FFT section's "tree-based"
+    all-to-all (W = (p/2)·k·log2 p, S = log2 p per rank).
+    """
+    p = comm.size
+    if p & (p - 1):
+        raise CommunicatorError(f"alltoall_bruck requires a power-of-two size, got {p}")
+    if len(blocks) != p:
+        raise CommunicatorError(
+            f"alltoall_bruck needs one block per rank ({p}), got {len(blocks)}"
+        )
+    # Phase 1: local rotation so slot j holds the block for relative rank j.
+    work: list = [copy_payload(blocks[(comm.rank + j) % p]) for j in range(p)]
+    # Phase 2: log p exchange rounds.
+    mask = 1
+    rnd = 0
+    while mask < p:
+        dest = (comm.rank + mask) % p
+        src = (comm.rank - mask) % p
+        ship_idx = [j for j in range(p) if j & mask]
+        comm.send([work[j] for j in ship_idx], dest, tag=("_bruck", rnd))
+        arrived = comm.recv(src, tag=("_bruck", rnd))
+        for j, item in zip(ship_idx, arrived):
+            work[j] = item
+        mask <<= 1
+        rnd += 1
+    # Phase 3: inverse rotation into absolute source order.
+    out: list = [None] * p
+    for j in range(p):
+        out[(comm.rank - j) % p] = work[j]
+    return out
+
+
+def _check_root(root: int, size: int) -> None:
+    if not 0 <= root < size:
+        raise CommunicatorError(f"root {root} out of range for size {size}")

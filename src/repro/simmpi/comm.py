@@ -1,0 +1,351 @@
+"""The communicator — the API simulated algorithms program against.
+
+A :class:`Comm` mirrors the mpi4py surface the HPC guides teach
+(``send``/``recv``/``sendrecv``, ``bcast``/``reduce``/``allreduce``/
+``allgather``/``gather``/``scatter``/``alltoall``/``barrier``,
+``split``), with two simulation extras:
+
+* ``comm.add_flops(k)`` — meter local computation;
+* every payload crossing ranks is word-counted and message-counted
+  (⌈words/m⌉ per the paper's maximum message size m) on both the sender
+  and the receiver's :class:`~repro.simmpi.counters.CostCounter`.
+
+Sub-communicators are created with :meth:`split`; each carries a unique
+*context id* so traffic on different communicators can never be
+mismatched, exactly like MPI contexts. Context ids are derived
+deterministically from the parent's id, a per-parent split sequence
+number, and the color — identical across ranks without any metadata
+exchange (SPMD programs call split in the same order everywhere).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Sequence
+
+from repro.exceptions import CommunicatorError
+from repro.simmpi import collectives as _coll
+from repro.simmpi.envelope import Envelope
+from repro.simmpi.mailbox import NOTHING
+from repro.simmpi.payload import copy_payload, message_count, payload_words
+from repro.simmpi.request import Request
+from repro.simmpi.world import World
+
+__all__ = ["Comm"]
+
+
+class Comm:
+    """A group of ranks that can exchange metered messages."""
+
+    def __init__(
+        self,
+        world: World,
+        group: Sequence[int],
+        rank: int,
+        context: Hashable = ("world",),
+    ):
+        if rank < 0 or rank >= len(group):
+            raise CommunicatorError(
+                f"local rank {rank} out of range for group of {len(group)}"
+            )
+        self._world = world
+        self._group = tuple(group)
+        self._rank = rank
+        self._context = context
+        self._split_seq = 0
+
+    # -- identity -------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self._group)
+
+    @property
+    def world_rank(self) -> int:
+        """This process's rank in the global world."""
+        return self._group[self._rank]
+
+    @property
+    def counter(self):
+        """This rank's cost counter (flops, words, messages, memory)."""
+        return self._world.counters[self.world_rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Comm(rank={self._rank}/{self.size}, world_rank={self.world_rank}, "
+            f"context={self._context!r})"
+        )
+
+    # -- computation metering --------------------------------------------
+
+    def add_flops(self, count: float) -> None:
+        """Meter ``count`` local floating point operations (and advance
+        the virtual clock by gamma_t * count when a machine is set)."""
+        self.counter.add_flops(count)
+        machine = self._world.machine
+        if machine is not None:
+            self.counter.advance_clock(machine.gamma_t * count)
+
+    def allocate(self, words: int) -> None:
+        """Meter acquiring a local buffer (memory high-water tracking)."""
+        self.counter.allocate(words)
+
+    def release(self) -> None:
+        """Release the most recent metered buffer."""
+        self.counter.release()
+
+    # -- point-to-point ----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: Hashable = 0) -> None:
+        """Eagerly send ``obj`` to ``dest`` (local rank), metering the
+        sender's word and message tallies.
+
+        With a machine model set, the sender's clock advances by
+        ``alpha_t * messages + beta_t * words`` and the message carries
+        its departure time for the receiver's dependency tracking.
+        """
+        self._check_peer(dest, "dest")
+        words = payload_words(obj)
+        msgs = message_count(words, self._world.max_message_words)
+        dest_world_rank = self._group[dest]
+        internode = not self._world.same_node(self.world_rank, dest_world_rank)
+        self.counter.add_send(words, msgs, internode=internode)
+        machine = self._world.machine
+        departure = None
+        if machine is not None:
+            self.counter.advance_clock(
+                machine.alpha_t * msgs + machine.beta_t * words
+            )
+            departure = self.counter.vtime
+        payload = copy_payload(obj)
+        self._world.mailboxes[dest_world_rank].put(
+            self.world_rank, self._context, tag, Envelope(payload, departure)
+        )
+
+    def recv(self, source: int, tag: Hashable = 0) -> Any:
+        """Block until a message from ``source`` with ``tag`` arrives.
+
+        With a machine model set, the receiver's clock jumps to the
+        message's departure time if that is later (it cannot consume
+        data before it was sent) — the link transfer itself is charged
+        once, on the sender, matching Eq. (1)'s convention of counting
+        words sent.
+        """
+        self._check_peer(source, "source")
+        src_world = self._group[source]
+        env = self._world.mailboxes[self.world_rank].get(
+            src_world,
+            self._context,
+            tag,
+            timeout=self._world.timeout,
+            abort_check=self._world.failed.is_set,
+        )
+        words = payload_words(env.payload)
+        msgs = message_count(words, self._world.max_message_words)
+        internode = not self._world.same_node(self.world_rank, src_world)
+        self.counter.add_recv(words, msgs, internode=internode)
+        if self._world.machine is not None and env.departure is not None:
+            self.counter.sync_clock(env.departure)
+        return env.payload
+
+    def isend(self, obj: Any, dest: int, tag: Hashable = 0) -> Request:
+        """Nonblocking send. Eager sends complete immediately; the
+        returned request is already done."""
+        self.send(obj, dest, tag=tag)
+        return Request.completed(None)
+
+    def irecv(self, source: int, tag: Hashable = 0) -> Request:
+        """Nonblocking receive: a :class:`Request` to ``test()``/``wait()``.
+
+        Metering (received words/messages, virtual clock sync) happens
+        when the request completes, matching a blocking ``recv``.
+        """
+        self._check_peer(source, "source")
+        src_world = self._group[source]
+        mailbox = self._world.mailboxes[self.world_rank]
+
+        def poll(block: bool = False):
+            if block:
+                env = mailbox.get(
+                    src_world,
+                    self._context,
+                    tag,
+                    timeout=self._world.timeout,
+                    abort_check=self._world.failed.is_set,
+                )
+                return True, env
+            env = mailbox.try_get(src_world, self._context, tag)
+            return env is not NOTHING, env
+
+        def finish(env):
+            words = payload_words(env.payload)
+            msgs = message_count(words, self._world.max_message_words)
+            internode = not self._world.same_node(self.world_rank, src_world)
+            self.counter.add_recv(words, msgs, internode=internode)
+            if self._world.machine is not None and env.departure is not None:
+                self.counter.sync_clock(env.departure)
+            return env.payload
+
+        return Request(poll=poll, finish=finish)
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        source: int,
+        sendtag: Hashable = 0,
+        recvtag: Hashable = 0,
+    ) -> Any:
+        """Combined send+receive (deadlock-free thanks to eager sends).
+
+        A self-exchange (dest == source == this rank) is short-circuited
+        without metering, matching real MPI where a sendrecv to self
+        never touches the network.
+        """
+        if dest == source == self._rank and sendtag == recvtag:
+            return copy_payload(obj)
+        self.send(obj, dest, tag=sendtag)
+        return self.recv(source, tag=recvtag)
+
+    def shift(self, obj: Any, displacement: int, tag: Hashable = 0) -> Any:
+        """Cyclic shift: send to (rank+displacement) mod p, receive from
+        (rank-displacement) mod p. The workhorse of Cannon's algorithm
+        and the n-body ring."""
+        p = self.size
+        dest = (self._rank + displacement) % p
+        src = (self._rank - displacement) % p
+        return self.sendrecv(obj, dest, src, sendtag=tag, recvtag=tag)
+
+    # -- collectives --------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Dissemination barrier (log p zero-word messages per rank)."""
+        _coll.barrier(self)
+
+    def bcast(self, obj: Any, root: int = 0, algorithm: str = "binomial") -> Any:
+        """Broadcast from ``root`` ("binomial" or, for large ndarray
+        payloads, "scatter_allgather")."""
+        return _coll.bcast(self, obj, root=root, algorithm=algorithm)
+
+    def reduce(
+        self,
+        obj: Any,
+        op: Callable[[Any, Any], Any] = _coll.sum_op,
+        root: int = 0,
+        algorithm: str = "binomial",
+    ) -> Any:
+        """Reduction to ``root`` (None elsewhere); "binomial" or, for
+        large ndarray payloads, "reduce_scatter_gather"."""
+        return _coll.reduce(self, obj, op=op, root=root, algorithm=algorithm)
+
+    def allreduce(
+        self,
+        obj: Any,
+        op: Callable[[Any, Any], Any] = _coll.sum_op,
+        algorithm: str = "reduce_bcast",
+    ) -> Any:
+        """All-reduce ("reduce_bcast" or "recursive_doubling")."""
+        return _coll.allreduce(self, obj, op=op, algorithm=algorithm)
+
+    def reduce_scatter(
+        self, obj: Any, op: Callable[[Any, Any], Any] = _coll.sum_op
+    ) -> Any:
+        """Ring reduce-scatter: rank r gets chunk r of the elementwise
+        reduction (ndarray payloads)."""
+        return _coll.reduce_scatter(self, obj, op=op)
+
+    def allgather(self, obj: Any) -> list:
+        """Ring allgather; returns the rank-indexed list of contributions."""
+        return _coll.allgather(self, obj)
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        """Gather to ``root``; rank-indexed list there, None elsewhere."""
+        return _coll.gather(self, obj, root=root)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter from ``root``; rank r receives objs[r]."""
+        return _coll.scatter(self, objs, root=root)
+
+    def alltoall(self, blocks: Sequence[Any]) -> list:
+        """Cyclic pairwise all-to-all (p-1 messages per rank)."""
+        return _coll.alltoall(self, blocks)
+
+    def alltoall_bruck(self, blocks: Sequence[Any]) -> list:
+        """Bruck all-to-all (log2 p messages per rank; p must be 2^j)."""
+        return _coll.alltoall_bruck(self, blocks)
+
+    # -- sub-communicators ----------------------------------------------------
+
+    def split(self, color: Hashable, key: int | None = None) -> "Comm":
+        """Partition the communicator by ``color``; rank order within each
+        new communicator follows ``key`` (default: current rank).
+
+        Every rank must call split (it is collective). The (color, key)
+        exchange travels *unmetered*: communicator construction is setup
+        machinery outside the paper's cost model (which charges only the
+        algorithm's F/W/S), and metering it would pollute small-problem
+        count validation with O(p) metadata words per sub-communicator.
+        """
+        if key is None:
+            key = self._rank
+        pairs = self._allgather_unmetered((color, key))
+        members = sorted(
+            (r for r, (c, _k) in enumerate(pairs) if c == color),
+            key=lambda r: (pairs[r][1], r),
+        )
+        my_local = members.index(self._rank)
+        group = tuple(self._group[r] for r in members)
+        self._split_seq += 1
+        context = (self._context, self._split_seq, color)
+        return Comm(self._world, group, my_local, context=context)
+
+    def dup(self) -> "Comm":
+        """A duplicate communicator with an isolated message context."""
+        self._split_seq += 1
+        context = (self._context, self._split_seq, "_dup")
+        return Comm(self._world, self._group, self._rank, context=context)
+
+    # -- internals ---------------------------------------------------------
+
+    def _allgather_unmetered(self, obj: Any) -> list:
+        """Ring allgather that bypasses the cost counters (setup traffic
+        for communicator construction only)."""
+        p = self.size
+        out: list = [None] * p
+        out[self._rank] = copy_payload(obj)
+        if p == 1:
+            return out
+        right = self._group[(self._rank + 1) % p]
+        left_local = (self._rank - 1) % p
+        left = self._group[left_local]
+        carrying = self._rank
+        block = obj
+        mailbox = self._world.mailboxes[self.world_rank]
+        for step in range(p - 1):
+            self._world.mailboxes[right].put(
+                self.world_rank,
+                self._context,
+                ("_setup", step),
+                Envelope(copy_payload(block), None),
+            )
+            block = mailbox.get(
+                left,
+                self._context,
+                ("_setup", step),
+                timeout=self._world.timeout,
+                abort_check=self._world.failed.is_set,
+            ).payload
+            carrying = (carrying - 1) % p
+            out[carrying] = block
+        return out
+
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not 0 <= peer < self.size:
+            raise CommunicatorError(
+                f"{what} {peer} out of range for communicator of size {self.size}"
+            )

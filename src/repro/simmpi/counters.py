@@ -1,0 +1,147 @@
+"""Per-rank cost counters — the measured F, W, S, M of the paper's models.
+
+Each simulated rank owns one :class:`CostCounter`. Communication
+primitives update the word/message tallies automatically; computational
+kernels call :meth:`CostCounter.add_flops` with exact operation counts
+(e.g. 2·a·b·c for an a x b times b x c GEMM). Algorithms may also track
+their live buffer footprint with :meth:`allocate`/:meth:`release` so the
+memory term delta_e·M·T can be evaluated against a measured high-water
+mark instead of the machine's physical capacity.
+
+Counters are only mutated by their owning rank's thread, so no locking
+is needed; snapshots taken after the SPMD run has joined are safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ParameterError
+
+__all__ = ["CostCounter", "CounterSnapshot"]
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Immutable copy of a rank's tallies at the end of a run."""
+
+    rank: int
+    flops: float
+    words_sent: int
+    messages_sent: int
+    words_received: int
+    messages_received: int
+    mem_peak_words: int
+    #: virtual-clock finish time (0.0 when the run had no machine model)
+    vtime: float = 0.0
+    #: internode sub-tallies (Fig. 2 two-level runs; zero otherwise)
+    words_sent_internode: int = 0
+    messages_sent_internode: int = 0
+    words_received_internode: int = 0
+    messages_received_internode: int = 0
+
+    @property
+    def words_sent_intranode(self) -> int:
+        return self.words_sent - self.words_sent_internode
+
+    @property
+    def messages_sent_intranode(self) -> int:
+        return self.messages_sent - self.messages_sent_internode
+
+    @property
+    def words(self) -> int:
+        """Words sent (the paper's W counts traffic a processor injects)."""
+        return self.words_sent
+
+    @property
+    def messages(self) -> int:
+        """Messages sent (the paper's S)."""
+        return self.messages_sent
+
+
+@dataclass
+class CostCounter:
+    """Mutable per-rank tallies, updated during an SPMD run."""
+
+    rank: int
+    flops: float = 0.0
+    words_sent: int = 0
+    messages_sent: int = 0
+    words_received: int = 0
+    messages_received: int = 0
+    mem_words: int = 0
+    mem_peak_words: int = 0
+    vtime: float = 0.0  # virtual clock (seconds), advanced when metered
+    words_sent_internode: int = 0
+    messages_sent_internode: int = 0
+    words_received_internode: int = 0
+    messages_received_internode: int = 0
+    _mem_stack: list[int] = field(default_factory=list, repr=False)
+
+    def advance_clock(self, seconds: float) -> None:
+        """Move the virtual clock forward by a local operation's cost."""
+        if seconds < 0:
+            raise ParameterError(f"clock advance must be >= 0, got {seconds!r}")
+        self.vtime += seconds
+
+    def sync_clock(self, arrival: float) -> None:
+        """A message sent at ``arrival`` cannot be consumed earlier."""
+        if arrival > self.vtime:
+            self.vtime = arrival
+
+    def add_flops(self, count: float) -> None:
+        """Record ``count`` floating point operations."""
+        if count < 0:
+            raise ParameterError(f"flop count must be >= 0, got {count!r}")
+        self.flops += count
+
+    def add_send(self, words: int, messages: int, internode: bool = False) -> None:
+        if words < 0 or messages < 0:
+            raise ParameterError("send tallies must be >= 0")
+        self.words_sent += words
+        self.messages_sent += messages
+        if internode:
+            self.words_sent_internode += words
+            self.messages_sent_internode += messages
+
+    def add_recv(self, words: int, messages: int, internode: bool = False) -> None:
+        if words < 0 or messages < 0:
+            raise ParameterError("recv tallies must be >= 0")
+        self.words_received += words
+        self.messages_received += messages
+        if internode:
+            self.words_received_internode += words
+            self.messages_received_internode += messages
+
+    # -- memory high-water tracking (opt-in per algorithm) -------------
+
+    def allocate(self, words: int) -> None:
+        """Record acquiring a buffer of ``words`` words."""
+        if words < 0:
+            raise ParameterError(f"allocation must be >= 0 words, got {words!r}")
+        self.mem_words += words
+        self._mem_stack.append(words)
+        if self.mem_words > self.mem_peak_words:
+            self.mem_peak_words = self.mem_words
+
+    def release(self) -> None:
+        """Release the most recently allocated buffer (stack discipline)."""
+        if not self._mem_stack:
+            raise ParameterError("release() without matching allocate()")
+        self.mem_words -= self._mem_stack.pop()
+
+    def snapshot(self) -> CounterSnapshot:
+        return CounterSnapshot(
+            rank=self.rank,
+            flops=self.flops,
+            words_sent=self.words_sent,
+            messages_sent=self.messages_sent,
+            words_received=self.words_received,
+            messages_received=self.messages_received,
+            mem_peak_words=self.mem_peak_words,
+            vtime=self.vtime,
+            words_sent_internode=self.words_sent_internode,
+            messages_sent_internode=self.messages_sent_internode,
+            words_received_internode=self.words_received_internode,
+            messages_received_internode=self.messages_received_internode,
+        )

@@ -1,0 +1,126 @@
+"""The SPMD execution engine.
+
+:func:`run_spmd` launches one OS thread per rank, each executing the
+same ``program(comm, *args, **kwargs)`` — the SPMD idiom of mpi4py
+scripts, with the communicator injected instead of imported. It joins
+all ranks, converts any rank exception into
+:class:`~repro.exceptions.RankFailedError` (after waking peers blocked
+on receives), and returns an :class:`SpmdResult` carrying each rank's
+return value plus the :class:`~repro.simmpi.trace.TraceReport` of
+measured costs.
+
+Threads (not processes) are the right substrate here: payload copies on
+send give us distributed-memory semantics, the workloads are
+NumPy-bound (GIL released inside BLAS), and determinism of the *counts*
+is guaranteed by the algorithms' fixed communication patterns, not by
+scheduling order.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exceptions import RankFailedError
+from repro.simmpi.comm import Comm
+from repro.simmpi.trace import TraceReport
+from repro.simmpi.world import World
+
+__all__ = ["run_spmd", "SpmdResult"]
+
+
+@dataclass(frozen=True)
+class SpmdResult:
+    """Outcome of an SPMD run."""
+
+    results: tuple  # per-rank return values, indexed by rank
+    report: TraceReport  # measured F/W/S/M per rank
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, rank: int):
+        return self.results[rank]
+
+
+def run_spmd(
+    size: int,
+    program: Callable[..., Any],
+    *args: Any,
+    max_message_words: float = math.inf,
+    timeout: float = 60.0,
+    machine: Any = None,
+    node_size: int | None = None,
+    **kwargs: Any,
+) -> SpmdResult:
+    """Run ``program(comm, *args, **kwargs)`` on ``size`` simulated ranks.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    program:
+        The SPMD body. Receives a :class:`~repro.simmpi.comm.Comm` as its
+        first argument; its return value is collected per rank.
+    max_message_words:
+        The model's m: payloads are metered as ceil(words/m) messages.
+    timeout:
+        Deadlock watchdog — seconds a receive may block.
+    machine:
+        Optional :class:`~repro.core.parameters.MachineParameters`; when
+        given, per-rank virtual clocks advance by the Eq. (1) cost of
+        each operation and honor message dependencies, and the report's
+        :meth:`~repro.simmpi.trace.TraceReport.simulated_time` returns
+        the critical-path finish time.
+    node_size:
+        Optional two-level grouping (Fig. 2): consecutive blocks of
+        ``node_size`` ranks form a node, and traffic crossing node
+        boundaries is tallied separately (see
+        :meth:`~repro.simmpi.trace.TraceReport.twolevel_counts`).
+
+    Raises
+    ------
+    RankFailedError
+        If any rank raises; carries the per-rank exceptions.
+    """
+    world = World(
+        size,
+        max_message_words=max_message_words,
+        timeout=timeout,
+        machine=machine,
+        node_size=node_size,
+    )
+    results: list[Any] = [None] * size
+    failures: dict[int, BaseException] = {}
+    failures_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = Comm(world, group=range(size), rank=rank)
+        try:
+            results[rank] = program(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with failures_lock:
+                failures[rank] = exc
+            world.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if failures:
+        # Deadlock/abort cascades on other ranks are secondary noise; report
+        # the primary failures (non-DeadlockError) first if any exist.
+        from repro.exceptions import DeadlockError
+
+        primary = {r: e for r, e in failures.items() if not isinstance(e, DeadlockError)}
+        raise RankFailedError(primary or failures)
+
+    report = TraceReport(ranks=tuple(c.snapshot() for c in world.counters))
+    return SpmdResult(results=tuple(results), report=report)

@@ -1,0 +1,28 @@
+"""Message envelope: payload plus virtual-time metadata.
+
+When a run is given machine parameters (see
+:func:`repro.simmpi.engine.run_spmd`'s ``machine`` argument), every rank
+carries a virtual clock advanced by the Eq. (1) costs of its own
+operations, and messages carry their departure timestamp so receivers
+can honor the dependency (a message cannot be consumed before it was
+sent). The resulting per-rank clocks give a *critical-path* runtime
+estimate — sharper than the per-rank-sum bound of
+:meth:`~repro.simmpi.trace.TraceReport.estimate_time` for algorithms
+with serial dependency chains (LU's panel factorization, pipelines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Envelope"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """What actually sits in a mailbox: the payload and its send-completion
+    time (None when the run has no virtual clock or for setup traffic)."""
+
+    payload: Any
+    departure: float | None = None

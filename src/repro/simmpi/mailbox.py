@@ -1,0 +1,140 @@
+"""Message matching for the simulated distributed machine.
+
+Each rank owns a :class:`Mailbox`. Sends are *eager*: the payload is
+deposited into the destination's mailbox without blocking (the simulator
+models an infinitely buffered network — adequate because the paper's
+models charge per word/message, not for contention). Receives block
+until a matching message arrives, with a watchdog timeout that converts
+a hung wait into :class:`~repro.exceptions.DeadlockError` instead of a
+frozen test suite.
+
+Matching is FIFO per (source, communicator context, tag) channel, like
+MPI's non-overtaking guarantee for point-to-point traffic on one
+communicator.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Hashable
+
+from repro.exceptions import DeadlockError
+
+__all__ = ["Mailbox", "ANY_TAG"]
+
+#: Wildcard tag for receives (matches the oldest message from the given
+#: source on the given communicator, regardless of tag).
+ANY_TAG: object = object()
+
+
+class Mailbox:
+    """Per-rank inbox with blocking, channel-matched receives."""
+
+    def __init__(self, owner_rank: int):
+        self.owner_rank = owner_rank
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        # (source_world_rank, context_id, tag) -> FIFO of payloads
+        self._channels: dict[tuple[int, Hashable, Hashable], deque] = {}
+        # arrival order per (source, context) for ANY_TAG matching
+        self._order: dict[tuple[int, Hashable], deque] = {}
+
+    def put(self, source: int, context: Hashable, tag: Hashable, payload: Any) -> None:
+        """Deposit a message (called from the sender's thread)."""
+        with self._ready:
+            key = (source, context, tag)
+            self._channels.setdefault(key, deque()).append(payload)
+            self._order.setdefault((source, context), deque()).append(tag)
+            self._ready.notify_all()
+
+    def get(
+        self,
+        source: int,
+        context: Hashable,
+        tag: Hashable,
+        timeout: float,
+        abort_check=None,
+    ) -> Any:
+        """Block until a matching message is available, then return it.
+
+        Raises :class:`DeadlockError` after ``timeout`` seconds without a
+        match — in a correctly synchronized SPMD program the only way a
+        receive waits that long is a deadlock or a peer crash. If
+        ``abort_check`` (a zero-argument callable) returns True after a
+        wake-up, the wait is abandoned immediately with
+        :class:`DeadlockError` — the engine uses this to cancel waits
+        when a peer rank fails.
+        """
+        deadline_msg = (
+            f"rank {self.owner_rank} timed out after {timeout}s waiting for a "
+            f"message from rank {source} (context={context!r}, tag={tag!r}); "
+            "likely deadlock or peer failure"
+        )
+        with self._ready:
+            while True:
+                payload = self._try_pop(source, context, tag)
+                if payload is not _NOTHING:
+                    return payload
+                if abort_check is not None and abort_check():
+                    raise DeadlockError(
+                        f"rank {self.owner_rank}: receive abandoned because a "
+                        "peer rank failed"
+                    )
+                if not self._ready.wait(timeout=timeout):
+                    raise DeadlockError(deadline_msg)
+
+    def _try_pop(self, source: int, context: Hashable, tag: Hashable) -> Any:
+        if tag is ANY_TAG:
+            order = self._order.get((source, context))
+            if not order:
+                return _NOTHING
+            actual_tag = order[0]
+            key = (source, context, actual_tag)
+        else:
+            key = (source, context, tag)
+        chan = self._channels.get(key)
+        if not chan:
+            return _NOTHING
+        payload = chan.popleft()
+        # maintain the arrival-order index
+        order = self._order.get((source, context))
+        if order is not None:
+            try:
+                order.remove(key[2]) if tag is ANY_TAG else order.remove(tag)
+            except ValueError:
+                pass
+            if not order:
+                del self._order[(source, context)]
+        if not chan:
+            del self._channels[key]
+        return payload
+
+    def try_get(self, source: int, context: Hashable, tag: Hashable):
+        """Non-blocking receive: the payload, or the module-level
+        ``NOTHING`` sentinel when no matching message is queued."""
+        with self._ready:
+            return self._try_pop(source, context, tag)
+
+    def pending(self) -> int:
+        """Number of undelivered messages (diagnostics)."""
+        with self._lock:
+            return sum(len(c) for c in self._channels.values())
+
+    def interrupt(self) -> None:
+        """Wake all blocked receivers (engine uses this on rank failure)."""
+        with self._ready:
+            self._ready.notify_all()
+
+
+class _Nothing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<no message>"
+
+
+_NOTHING = _Nothing()
+
+#: Public sentinel returned by :meth:`Mailbox.try_get` on an empty channel.
+NOTHING = _NOTHING

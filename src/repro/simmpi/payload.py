@@ -1,0 +1,89 @@
+"""Word accounting and copy semantics for message payloads.
+
+The paper's models count communication in *words*. For simulation we
+adopt the convention that one word is one scalar element: a NumPy array
+of k elements is k words regardless of dtype width (the paper likewise
+works in words and leaves the byte width to the machine constants).
+
+Payloads crossing rank boundaries are deep-copied so the simulator
+faithfully reproduces distributed-memory semantics: a receiver mutating
+its buffer must never affect the sender's copy (threads share an address
+space, real clusters do not — aliasing here would let buggy algorithms
+pass).
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import CommunicatorError
+
+__all__ = ["payload_words", "copy_payload", "message_count"]
+
+
+def payload_words(obj: Any) -> int:
+    """Number of model words in a payload.
+
+    * ``None`` — 0 words (pure synchronization message).
+    * NumPy array — one word per element.
+    * Python / NumPy scalar (int, float, complex, bool) — 1 word.
+    * str / bytes — one word per 8 characters (envelope metadata).
+    * tuple / list — sum over elements.
+    * dict — sum over values (keys are treated as envelope metadata).
+    * objects exposing ``__payload_words__()`` — whatever they report.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.size)
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return 1
+    if isinstance(obj, (str, bytes)):
+        # 8 characters per model word, minimum 1.
+        return max(1, math.ceil(len(obj) / 8))
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_words(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(payload_words(v) for v in obj.values())
+    hook = getattr(obj, "__payload_words__", None)
+    if hook is not None:
+        return int(hook())
+    raise CommunicatorError(
+        f"cannot count words of payload type {type(obj).__name__}; "
+        "send NumPy arrays, scalars, or containers thereof"
+    )
+
+
+def copy_payload(obj: Any) -> Any:
+    """Deep copy a payload, preserving NumPy arrays as contiguous copies."""
+    if obj is None or isinstance(obj, (bool, int, float, complex, str)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        # Order "C": messages travel as contiguous buffers.
+        return np.array(obj, copy=True, order="C")
+    if isinstance(obj, np.generic):
+        return obj  # immutable scalar
+    if isinstance(obj, tuple):
+        return tuple(copy_payload(x) for x in obj)
+    if isinstance(obj, list):
+        return [copy_payload(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: copy_payload(v) for k, v in obj.items()}
+    return _copy.deepcopy(obj)
+
+
+def message_count(words: int, max_message_words: float) -> int:
+    """Messages needed to move ``words`` words: ceil(words / m), min 1.
+
+    A zero-word payload (synchronization) still costs one message — the
+    paper folds synchronization into the message count.
+    """
+    if words <= 0:
+        return 1
+    if math.isinf(max_message_words):
+        return 1
+    return int(math.ceil(words / float(max_message_words)))

@@ -1,0 +1,63 @@
+"""Nonblocking point-to-point — mpi4py-style Request handles.
+
+``comm.isend`` completes immediately (the simulator's sends are eager
+and buffered, like an MPI send that fits the eager threshold);
+``comm.irecv`` returns a :class:`Request` whose :meth:`Request.test`
+polls the mailbox without blocking and whose :meth:`Request.wait`
+blocks (metering the receive exactly like a blocking ``recv`` when it
+completes). Overlapping communication with computation does not change
+any counts — the paper's Eq. (1) deliberately assumes no overlap, and
+the virtual clock keeps that convention (a completed irecv syncs the
+receiver's clock to the message's departure just like recv).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import CommunicatorError
+
+__all__ = ["Request"]
+
+
+class Request:
+    """Handle for a nonblocking operation."""
+
+    def __init__(self, poll, finish, value: Any = None, done: bool = False):
+        self._poll = poll  # () -> (done?, raw) without blocking
+        self._finish = finish  # (raw) -> value, meters the completion
+        self._value = value
+        self._done = done
+
+    @classmethod
+    def completed(cls, value: Any = None) -> "Request":
+        """An already-finished request (isend)."""
+        return cls(poll=None, finish=None, value=value, done=True)
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def test(self) -> bool:
+        """Try to complete without blocking; True if the request is done."""
+        if self._done:
+            return True
+        ok, raw = self._poll()
+        if ok:
+            self._value = self._finish(raw)
+            self._done = True
+        return self._done
+
+    def wait(self) -> Any:
+        """Block until complete; return the received object (None for sends)."""
+        if not self._done:
+            raw = self._poll(block=True)[1]
+            self._value = self._finish(raw)
+            self._done = True
+        return self._value
+
+    def result(self) -> Any:
+        """The completed value; raises if the request is still pending."""
+        if not self._done:
+            raise CommunicatorError("request not complete; call wait() or test()")
+        return self._value

@@ -1,0 +1,183 @@
+"""Run reports: measured counts -> modeled time and energy.
+
+After an SPMD run, :class:`TraceReport` holds one
+:class:`~repro.simmpi.counters.CounterSnapshot` per rank and evaluates
+the paper's models on the *measured* counts:
+
+* :meth:`estimate_time` — Eq. (1) with the critical-path convention
+  T = max over ranks of (gamma_t F_r + beta_t W_r + alpha_t S_r).
+* :meth:`estimate_energy` — Eq. (2) summed over ranks:
+  E = sum_r (gamma_e F_r + beta_e W_r + alpha_e S_r)
+      + p (delta_e M + eps_e) T.
+
+W_r and S_r use *sent* tallies, matching the paper's convention that a
+word/message is charged to the processor that injects it (receive-side
+tallies are kept too, and conservation — total sent == total received —
+is a library invariant the tests enforce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.energy import EnergyBreakdown
+from repro.core.parameters import MachineParameters
+from repro.core.timing import TimeBreakdown, runtime_from_counts
+from repro.exceptions import ParameterError
+from repro.simmpi.counters import CounterSnapshot
+
+__all__ = ["TraceReport"]
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """Measured per-rank counts of one SPMD run."""
+
+    ranks: tuple[CounterSnapshot, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    # -- aggregate counts -------------------------------------------------
+
+    @property
+    def total_flops(self) -> float:
+        return sum(r.flops for r in self.ranks)
+
+    @property
+    def max_flops(self) -> float:
+        return max(r.flops for r in self.ranks)
+
+    @property
+    def total_words(self) -> int:
+        """Total words sent across all ranks."""
+        return sum(r.words_sent for r in self.ranks)
+
+    @property
+    def max_words(self) -> int:
+        """Largest per-rank sent-word count (the W of the models)."""
+        return max(r.words_sent for r in self.ranks)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.messages_sent for r in self.ranks)
+
+    @property
+    def max_messages(self) -> int:
+        return max(r.messages_sent for r in self.ranks)
+
+    @property
+    def max_mem_peak(self) -> int:
+        return max(r.mem_peak_words for r in self.ranks)
+
+    @property
+    def total_words_internode(self) -> int:
+        """Total words sent across node boundaries (two-level runs)."""
+        return sum(r.words_sent_internode for r in self.ranks)
+
+    @property
+    def max_words_internode(self) -> int:
+        return max(r.words_sent_internode for r in self.ranks)
+
+    def twolevel_counts(self, rank: int):
+        """This rank's measured counts in the Fig. 2 split:
+        a :class:`~repro.core.twolevel.TwoLevelCounts` with internode
+        traffic as the node channel and intranode traffic as the core
+        channel — ready for :func:`repro.core.twolevel.twolevel_energy_from_counts`."""
+        from repro.core.twolevel import TwoLevelCounts
+
+        r = self.ranks[rank]
+        return TwoLevelCounts(
+            flops=r.flops,
+            words_node=float(r.words_sent_internode),
+            messages_node=float(r.messages_sent_internode),
+            words_core=float(r.words_sent_intranode),
+            messages_core=float(r.messages_sent_intranode),
+        )
+
+    @property
+    def simulated_time(self) -> float:
+        """Critical-path finish time from the virtual clocks (0.0 when
+        the run had no machine model). Unlike :meth:`estimate_time` —
+        which sums each rank's own costs and takes the max — this honors
+        cross-rank dependencies: a rank stalled waiting on a late
+        message inherits the sender's lateness."""
+        return max(r.vtime for r in self.ranks)
+
+    @property
+    def total_words_received(self) -> int:
+        return sum(r.words_received for r in self.ranks)
+
+    @property
+    def total_messages_received(self) -> int:
+        return sum(r.messages_received for r in self.ranks)
+
+    def words_conserved(self) -> bool:
+        """Every sent word was received (no lost traffic)."""
+        return (
+            self.total_words == self.total_words_received
+            and self.total_messages == self.total_messages_received
+        )
+
+    # -- model evaluation ----------------------------------------------------
+
+    def rank_time(self, machine: MachineParameters, rank: int) -> TimeBreakdown:
+        """Eq. (1) for one rank's counts."""
+        r = self.ranks[rank]
+        return runtime_from_counts(machine, r.flops, r.words_sent, r.messages_sent)
+
+    def estimate_time(self, machine: MachineParameters) -> TimeBreakdown:
+        """Critical-path runtime: the slowest rank under Eq. (1)."""
+        per_rank = [self.rank_time(machine, r) for r in range(self.size)]
+        worst = max(per_rank, key=lambda t: t.total)
+        return worst
+
+    def estimate_energy(
+        self,
+        machine: MachineParameters,
+        memory_words: float | None = None,
+        runtime_seconds: float | None = None,
+    ) -> EnergyBreakdown:
+        """Eq. (2) on measured counts.
+
+        Parameters
+        ----------
+        memory_words:
+            M charged per processor for the delta_e M T term. Defaults
+            to the measured per-run maximum memory high-water mark if any
+            rank tracked memory, else the machine's physical memory.
+        runtime_seconds:
+            T for the memory/leakage terms. Defaults to
+            :meth:`estimate_time`.
+        """
+        if memory_words is None:
+            measured = self.max_mem_peak
+            memory_words = measured if measured > 0 else machine.memory_words
+        if memory_words < 0:
+            raise ParameterError(f"memory_words must be >= 0, got {memory_words!r}")
+        T = (
+            self.estimate_time(machine).total
+            if runtime_seconds is None
+            else runtime_seconds
+        )
+        compute = machine.gamma_e * self.total_flops
+        bandwidth = machine.beta_e * self.total_words
+        latency = machine.alpha_e * self.total_messages
+        memory = self.size * machine.delta_e * memory_words * T
+        leakage = self.size * machine.epsilon_e * T
+        return EnergyBreakdown(
+            compute=compute,
+            bandwidth=bandwidth,
+            latency=latency,
+            memory=memory,
+            leakage=leakage,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"p={self.size} F_total={self.total_flops:.3g} "
+            f"W_max={self.max_words} S_max={self.max_messages} "
+            f"M_peak={self.max_mem_peak}"
+        )

@@ -1,0 +1,85 @@
+"""Shared state of one simulated machine run.
+
+A :class:`World` owns the mailboxes, cost counters and configuration
+shared by all ranks of an SPMD execution. It is created by
+:func:`repro.simmpi.engine.run_spmd` and never touched by user code
+directly — algorithms see only their :class:`~repro.simmpi.comm.Comm`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.simmpi.counters import CostCounter
+from repro.simmpi.mailbox import Mailbox
+
+__all__ = ["World"]
+
+
+class World:
+    """Mailboxes + counters + config for a ``size``-rank simulation.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    max_message_words:
+        The model's m — a k-word payload is metered as ceil(k/m)
+        messages. Defaults to unbounded (every send is one message).
+    timeout:
+        Seconds a blocking receive may wait before the deadlock watchdog
+        fires.
+    machine:
+        Optional :class:`~repro.core.parameters.MachineParameters`. When
+        given, each rank carries a virtual clock advanced by the Eq. (1)
+        cost of its operations, yielding a critical-path runtime
+        estimate (see :mod:`repro.simmpi.envelope`).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        max_message_words: float = math.inf,
+        timeout: float = 60.0,
+        machine=None,
+        node_size: int | None = None,
+    ):
+        if size < 1:
+            raise ValueError(f"world size must be >= 1, got {size}")
+        if max_message_words <= 0:
+            raise ValueError(
+                f"max_message_words must be > 0, got {max_message_words}"
+            )
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.size = size
+        self.max_message_words = float(max_message_words)
+        self.timeout = float(timeout)
+        #: optional MachineParameters enabling the per-rank virtual clock
+        self.machine = machine
+        if node_size is not None and (node_size < 1 or size % node_size):
+            raise ValueError(
+                f"node_size {node_size} must divide world size {size}"
+            )
+        #: optional two-level grouping (Fig. 2): ranks r with equal
+        #: r // node_size share a node; traffic crossing nodes is
+        #: tallied separately.
+        self.node_size = node_size
+        self.mailboxes = [Mailbox(r) for r in range(size)]
+        self.counters = [CostCounter(rank=r) for r in range(size)]
+        #: set once any rank raises; receivers poll it via interrupt()
+        self.failed = threading.Event()
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """True when two world ranks share a node (trivially true for a
+        one-level world)."""
+        if self.node_size is None:
+            return True
+        return rank_a // self.node_size == rank_b // self.node_size
+
+    def abort(self) -> None:
+        """Mark the run failed and wake every blocked receiver."""
+        self.failed.set()
+        for box in self.mailboxes:
+            box.interrupt()

@@ -1,0 +1,188 @@
+"""Tests for the analysis package: figure series, frontier regions,
+table renderers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    figure3_series,
+    figure4_series,
+    figure6_series,
+    figure7_series,
+)
+from repro.analysis.frontier import NBodyFrontier
+from repro.analysis.tables import (
+    render_scaling_points,
+    render_series,
+    render_table,
+    render_table1,
+    render_table2,
+)
+from repro.analysis.validation import ScalingPoint
+from repro.core.optimize import NBodyOptimizer
+from repro.core.parameters import MachineParameters
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def frontier_machine():
+    return MachineParameters(
+        gamma_t=1e-9, beta_t=1e-8, alpha_t=1e-6,
+        gamma_e=1e-9, beta_e=1e-8, alpha_e=0.0,
+        delta_e=1e-9, epsilon_e=0.0,
+        memory_words=1e9, max_message_words=1e6,
+    )
+
+
+class TestFigure3:
+    def test_flat_then_rising(self):
+        s = figure3_series(n=1000.0, memory_cap=1000.0**2 / 16)
+        classical = s["classical"]
+        p = s["p"]
+        knee = s["knee_classical"]
+        flat = classical[p < knee * 0.99]
+        assert np.allclose(flat, flat[0])
+        assert classical[-1] > classical[0] * 1.5
+
+    def test_strassen_knee_earlier_and_curve_rises(self):
+        s = figure3_series(n=1000.0, memory_cap=1000.0**2 / 16)
+        assert s["knee_strassen"] < s["knee_classical"]
+        assert s["strassen"][-1] > s["strassen"][0]
+
+    def test_pmin_start(self):
+        s = figure3_series(n=1000.0, memory_cap=1e4)
+        assert s["p"][0] == pytest.approx(1000.0**2 / 1e4)
+
+    def test_growth_rates_past_knee(self):
+        s = figure3_series(
+            n=1000.0, memory_cap=1000.0**2 / 16, p_points=200, p_span=1024
+        )
+        p, cl = s["p"], s["classical"]
+        knee = s["knee_classical"]
+        past = p > knee * 2
+        slope = np.polyfit(np.log(p[past]), np.log(cl[past]), 1)[0]
+        assert slope == pytest.approx(1.0 / 3.0, abs=0.02)
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            figure3_series(0, 100)
+
+
+class TestFigure4:
+    def test_regions_nested_sensibly(self, frontier_machine):
+        s = figure4_series(frontier_machine, n=1e6, interaction_flops=10.0)
+        grid = s["grid"]
+        feasible = grid.feasible
+        for key in (
+            "energy_budget_region",
+            "time_budget_region",
+            "proc_power_region",
+            "total_power_region",
+        ):
+            region = s[key]
+            assert region.shape == feasible.shape
+            assert not np.any(region & ~feasible)  # regions stay in wedge
+            assert region.sum() > 0  # budgets chosen to be non-trivial
+
+    def test_energy_independent_of_p_on_grid(self, frontier_machine):
+        s = figure4_series(frontier_machine, n=1e6, interaction_flops=10.0)
+        grid = s["grid"]
+        for mi in range(len(grid.M)):
+            row = grid.energy[mi]
+            vals = row[np.isfinite(row)]
+            if len(vals) > 1:
+                assert np.allclose(vals, vals[0])
+
+    def test_min_energy_line_at_M0(self, frontier_machine):
+        s = figure4_series(frontier_machine, n=1e6, interaction_flops=10.0)
+        line = s["min_energy_line"]
+        finite = line[np.isfinite(line)]
+        assert len(finite) > 0
+        assert np.allclose(finite, s["M0"])
+
+
+class TestFigure6And7:
+    def test_figure6_keys(self):
+        s = figure6_series(generations=4)
+        assert set(s.keys()) == {"gamma_e", "beta_e", "delta_e"}
+        assert all(len(v) == 5 for v in s.values())
+
+    def test_figure7_crossing(self):
+        s = figure7_series(generations=8)
+        assert s["first_generation_at_75"] == 6  # ceil(5.56)
+        assert s["joint"][6] >= 75.0
+        assert s["joint"][5] < 75.0
+
+
+class TestFrontierDetails:
+    def test_memory_limits(self, frontier_machine):
+        opt = NBodyOptimizer(frontier_machine, interaction_flops=10.0)
+        fr = NBodyFrontier(opt, 1e6)
+        lo, hi = fr.memory_limits(np.array([100.0]))
+        assert lo[0] == pytest.approx(1e4)
+        assert hi[0] == pytest.approx(1e5)
+
+    def test_time_contour_on_wedge(self, frontier_machine):
+        opt = NBodyOptimizer(frontier_machine, interaction_flops=10.0)
+        fr = NBodyFrontier(opt, 1e6)
+        # Compute-dominated machines make time contours nearly vertical,
+        # so sample densely just above the reference p.
+        p = np.geomspace(1000.0, 1100.0, 400)
+        t_ref = opt.time(1e6, 1000.0, 1e4)
+        curve = fr.time_contour(p, t_ref)
+        finite = np.isfinite(curve)
+        assert finite.any()
+        # Check the contour reproduces the target time.
+        for pi, mi in zip(p[finite], curve[finite]):
+            assert opt.time(1e6, pi, mi) == pytest.approx(t_ref, rel=1e-6)
+
+    def test_invalid_grid(self, frontier_machine):
+        opt = NBodyOptimizer(frontier_machine, interaction_flops=10.0)
+        fr = NBodyFrontier(opt, 1e6)
+        with pytest.raises(ParameterError):
+            fr.grid(np.array([-1.0]), np.array([10.0]))
+
+    def test_invalid_n(self, frontier_machine):
+        opt = NBodyOptimizer(frontier_machine)
+        with pytest.raises(ParameterError):
+            NBodyFrontier(opt, 0)
+
+
+class TestRenderers:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["xxx", 1e-9]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table2_has_all_rows(self):
+        out = render_table2()
+        assert "Sandy Bridge" in out
+        assert "ARM Cortex" in out
+        assert out.count("\n") >= 12
+
+    def test_render_table1(self):
+        out = render_table1()
+        assert "core_freq_ghz" in out
+
+    def test_render_scaling_points(self):
+        pt = ScalingPoint(
+            label="x", n=10, p=4, c=2, max_words=5, max_messages=1,
+            total_flops=100.0, est_time=0.5, est_energy=2.0,
+        )
+        out = render_scaling_points([pt], title="sweep")
+        assert "sweep" in out and "x" in out
+
+    def test_render_series(self):
+        out = render_series("p", [1, 2], {"W": [10, 20], "S": [1, 2]})
+        assert "W" in out and "20" in out
+
+    def test_scaling_point_words_times_p(self):
+        pt = ScalingPoint(
+            label="x", n=10, p=4, c=1, max_words=5, max_messages=1,
+            total_flops=1.0, est_time=1.0, est_energy=1.0,
+        )
+        assert pt.words_times_p == 20.0

@@ -1,0 +1,112 @@
+"""Tests for the terminal plotting primitives."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.asciiplot import line_plot, region_plot
+from repro.exceptions import ParameterError
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        x = np.arange(1, 11, dtype=float)
+        out = line_plot(x, {"lin": x, "sq": x**2}, width=30, height=10)
+        lines = out.splitlines()
+        assert any("*" in ln for ln in lines)
+        assert any("o" in ln for ln in lines)
+        assert "lin" in out and "sq" in out
+
+    def test_title_and_axis_label(self):
+        x = np.arange(1, 5, dtype=float)
+        out = line_plot(x, {"a": x}, title="T!", x_label="procs")
+        assert out.splitlines()[0] == "T!"
+        assert "[procs]" in out
+
+    def test_log_axes(self):
+        x = np.geomspace(1, 1e6, 20)
+        out = line_plot(x, {"flat": np.ones(20)}, logx=True, logy=False)
+        assert "*" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            line_plot([0.0, 1.0], {"a": [1.0, 2.0]}, logx=True)
+
+    def test_nan_skipped(self):
+        x = np.arange(1, 6, dtype=float)
+        y = np.array([1.0, np.nan, 3.0, np.nan, 5.0])
+        out = line_plot(x, {"a": y})
+        grid_chars = "".join(
+            ln.split("|")[1] for ln in out.splitlines() if ln.count("|") == 2
+        )
+        assert grid_chars.count("*") == 3  # the legend's glyph is outside
+
+    def test_monotone_series_renders_monotone(self):
+        """Higher values must land on higher rows."""
+        x = np.arange(1, 9, dtype=float)
+        out = line_plot(x, {"a": x}, width=24, height=8)
+        rows = [ln.split("|")[1] for ln in out.splitlines() if "|" in ln]
+        cols = []
+        for r, row in enumerate(rows):
+            for c, ch in enumerate(row):
+                if ch == "*":
+                    cols.append((c, r))
+        cols.sort()
+        # Row index (top-down) must be non-increasing as x grows.
+        assert all(b[1] <= a[1] for a, b in zip(cols, cols[1:]))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ParameterError):
+            line_plot([1, 2], {"a": [1, 2]}, width=4, height=2)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ParameterError):
+            line_plot([1, 2], {})
+
+    def test_constant_series_ok(self):
+        out = line_plot([1.0, 2.0], {"c": [5.0, 5.0]})
+        assert "*" in out
+
+
+class TestRegionPlot:
+    def test_layers_overdraw(self):
+        x = np.arange(1, 11, dtype=float)
+        y = np.arange(1, 11, dtype=float)
+        base = np.ones((10, 10), dtype=bool)
+        top = np.zeros((10, 10), dtype=bool)
+        top[5:, :] = True
+        out = region_plot(x, y, {"base": base, "top": top}, logx=False, logy=False)
+        assert "b" in out and "t" in out
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            region_plot(
+                [1.0, 2.0], [1.0, 2.0], {"a": np.ones((3, 3), dtype=bool)}
+            )
+
+    def test_legend_and_labels(self):
+        x = np.geomspace(1, 100, 5)
+        y = np.geomspace(1, 100, 5)
+        out = region_plot(
+            x, y, {"zone": np.ones((5, 5), dtype=bool)}, x_label="p", y_label="M"
+        )
+        assert "z = zone" in out
+        assert "[p]" in out and "(y = M)" in out
+
+    def test_fig4_integration(self):
+        from repro.analysis.figures import figure4_series
+        from repro.core.parameters import MachineParameters
+
+        machine = MachineParameters(
+            gamma_t=1e-9, beta_t=1e-8, alpha_t=1e-6,
+            gamma_e=1e-9, beta_e=1e-8, alpha_e=0.0,
+            delta_e=1e-9, epsilon_e=0.0,
+            memory_words=1e9, max_message_words=1e6,
+        )
+        s = figure4_series(machine, n=1e6, interaction_flops=10.0,
+                           p_points=16, m_points=16)
+        out = region_plot(
+            s["p"], s["M"],
+            {"feasible": s["grid"].feasible,
+             "E": s["energy_budget_region"]},
+        )
+        assert "f" in out and "E" in out

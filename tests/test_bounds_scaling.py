@@ -1,0 +1,252 @@
+"""Tests for communication lower bounds and the strong-scaling analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    effective_bandwidth_bound,
+    fft_sequential_bandwidth_lower_bound,
+    matmul_memory_dependent_bound,
+    matmul_memory_independent_bound,
+    nbody_bandwidth_lower_bound,
+    parallel_bandwidth_lower_bound,
+    sequential_bandwidth_lower_bound,
+    sequential_latency_lower_bound,
+    strassen_memory_independent_bound,
+)
+from repro.core.costs import (
+    OMEGA_STRASSEN,
+    ClassicalMatMulCosts,
+    NBodyCosts,
+    StrassenMatMulCosts,
+)
+from repro.core.scaling import (
+    bandwidth_cost_times_p,
+    in_perfect_scaling_range,
+    perfect_scaling_range,
+    saturation_p,
+    verify_perfect_scaling,
+)
+from repro.exceptions import ParameterError
+
+from conftest import machine_strategy
+
+
+class TestSequentialBounds:
+    def test_flop_term_dominates(self):
+        # F/sqrt(M) > I+O
+        w = sequential_bandwidth_lower_bound(F=1e9, M=1e4, io_words=100.0)
+        assert w == pytest.approx(1e9 / 100.0)
+
+    def test_io_term_dominates(self):
+        w = sequential_bandwidth_lower_bound(F=100.0, M=1e8, io_words=1e6)
+        assert w == pytest.approx(1e6)
+
+    def test_latency_divides_by_m(self):
+        s = sequential_latency_lower_bound(F=1e9, M=1e4, m=128.0)
+        assert s == pytest.approx(1e9 / 100.0 / 128.0)
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            sequential_bandwidth_lower_bound(F=-1, M=100)
+        with pytest.raises(ParameterError):
+            sequential_bandwidth_lower_bound(F=1, M=0)
+
+
+class TestParallelBound:
+    def test_positive_case(self):
+        w = parallel_bandwidth_lower_bound(F=1e9, M=1e4, io_words=100.0)
+        assert w == pytest.approx(1e9 / 100.0 - 100.0)
+
+    def test_clamped_at_zero(self):
+        # Big I/O can make zero-communication conceivable.
+        assert parallel_bandwidth_lower_bound(F=100.0, M=1e8, io_words=1e6) == 0.0
+
+
+class TestMatmulBounds:
+    def test_memory_dependent(self):
+        assert matmul_memory_dependent_bound(1000, 8, 1e4) == pytest.approx(
+            1e9 / (8 * 100)
+        )
+
+    def test_memory_independent(self):
+        assert matmul_memory_independent_bound(1000, 64) == pytest.approx(1e6 / 16)
+
+    def test_strassen_independent(self):
+        n, p = 1000.0, 64.0
+        w = strassen_memory_independent_bound(n, p)
+        assert w == pytest.approx(n**2 / p ** (2 / OMEGA_STRASSEN))
+
+    def test_strassen_bound_below_classical(self):
+        # Strassen's memory-independent bound n^2/p^(2/omega0) is smaller
+        # than classical's n^2/p^(2/3) (2/omega0 > 2/3) — it communicates
+        # less, but its perfect-scaling knee comes earlier (see
+        # TestFigure3Curve.test_strassen_knee_earlier).
+        n, p = 1000.0, 64.0
+        assert strassen_memory_independent_bound(n, p) < (
+            matmul_memory_independent_bound(n, p)
+        )
+
+    @given(
+        st.floats(min_value=100, max_value=1e5),
+        st.floats(min_value=1, max_value=1e6),
+        st.floats(min_value=10, max_value=1e9),
+    )
+    def test_effective_bound_is_max(self, n, p, M):
+        eff = effective_bandwidth_bound(n, p, M, omega0=3.0)
+        assert eff == pytest.approx(
+            max(matmul_memory_dependent_bound(n, p, M),
+                matmul_memory_independent_bound(n, p))
+        )
+
+    @given(
+        st.floats(min_value=100, max_value=1e5),
+        st.floats(min_value=2, max_value=1e4),
+    )
+    def test_upper_bounds_dominate_lower_bounds(self, n, p):
+        """The 2.5D cost expression attains (>=) the bound at every M."""
+        costs = ClassicalMatMulCosts()
+        for M in (n**2 / p, 2 * n**2 / p, n**2 / p ** (2 / 3)):
+            assert costs.words(n, p, M) >= (
+                matmul_memory_dependent_bound(n, p, M) * (1 - 1e-12)
+            )
+
+
+class TestNBodyAndFFTBounds:
+    def test_nbody(self):
+        assert nbody_bandwidth_lower_bound(1e4, 16, 100) == pytest.approx(
+            1e8 / 1600
+        )
+
+    def test_nbody_matches_cost_model(self):
+        costs = NBodyCosts()
+        n, p, M = 1e4, 16.0, 100.0
+        assert costs.words(n, p, M) == pytest.approx(
+            nbody_bandwidth_lower_bound(n, p, M)
+        )
+
+    def test_fft_sequential(self):
+        w = fft_sequential_bandwidth_lower_bound(2**20, 2**10)
+        assert w == pytest.approx(2**20 * 20 / 10)
+
+    def test_fft_invalid(self):
+        with pytest.raises(ParameterError):
+            fft_sequential_bandwidth_lower_bound(1, 16)
+
+
+class TestPerfectScalingRange:
+    def test_matmul_range(self):
+        costs = ClassicalMatMulCosts()
+        rng = perfect_scaling_range(costs, 1000.0, 1e4)
+        assert rng.p_min == pytest.approx(100.0)
+        assert rng.p_max == pytest.approx(1000.0**3 / 1e6)
+        assert rng.width_factor == pytest.approx(10.0)
+
+    def test_contains(self):
+        costs = ClassicalMatMulCosts()
+        rng = perfect_scaling_range(costs, 1000.0, 1e4)
+        assert rng.contains(rng.p_min)
+        assert rng.contains(rng.p_max)
+        assert not rng.contains(rng.p_min / 2)
+        assert not rng.contains(rng.p_max * 2)
+
+    def test_width_is_max_replication(self):
+        # p_max/p_min = (n^2/M)^(1/2) = maximal c for classical matmul.
+        costs = ClassicalMatMulCosts()
+        n, M = 1000.0, 1e4
+        rng = perfect_scaling_range(costs, n, M)
+        assert rng.width_factor == pytest.approx(math.sqrt(n**2 / M))
+
+    def test_membership_helper(self):
+        costs = NBodyCosts()
+        assert in_perfect_scaling_range(costs, 1e4, 500.0, 100.0)
+        assert not in_perfect_scaling_range(costs, 1e4, 50.0, 100.0)
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            perfect_scaling_range(ClassicalMatMulCosts(), 0, 100)
+
+
+class TestFigure3Curve:
+    def test_flat_inside_range(self):
+        n, cap = 1000.0, 1e4
+        knee = saturation_p(n, cap)
+        v1 = bandwidth_cost_times_p(n, knee / 8, cap)
+        v2 = bandwidth_cost_times_p(n, knee / 2, cap)
+        assert v1 == pytest.approx(v2)
+
+    def test_grows_past_knee(self):
+        n, cap = 1000.0, 1e4
+        knee = saturation_p(n, cap)
+        v_knee = bandwidth_cost_times_p(n, knee, cap)
+        v_past = bandwidth_cost_times_p(n, 8 * knee, cap)
+        assert v_past == pytest.approx(v_knee * 2.0, rel=1e-9)  # (8)^(1/3)
+
+    def test_strassen_knee_earlier(self):
+        n, cap = 1000.0, 1e4
+        assert saturation_p(n, cap, omega0=OMEGA_STRASSEN) < saturation_p(n, cap)
+
+    def test_strassen_growth_rate(self):
+        n, cap = 1000.0, 1e4
+        omega = OMEGA_STRASSEN
+        knee = saturation_p(n, cap, omega0=omega)
+        v_knee = bandwidth_cost_times_p(n, knee, cap, omega0=omega)
+        v_past = bandwidth_cost_times_p(n, 8 * knee, cap, omega0=omega)
+        assert v_past / v_knee == pytest.approx(8 ** (1 - 2 / omega), rel=1e-9)
+
+    def test_continuity_at_knee(self):
+        n, cap = 1000.0, 1e4
+        knee = saturation_p(n, cap)
+        below = bandwidth_cost_times_p(n, knee * (1 - 1e-9), cap)
+        above = bandwidth_cost_times_p(n, knee * (1 + 1e-9), cap)
+        assert below == pytest.approx(above, rel=1e-6)
+
+
+class TestVerifyPerfectScaling:
+    @given(machine_strategy())
+    @settings(max_examples=25)
+    def test_certificate_inside_range(self, m):
+        costs = ClassicalMatMulCosts()
+        n = 1e4
+        M = min(m.memory_words, n**2 / 4)
+        rng = perfect_scaling_range(costs, n, M)
+        ps = [rng.p_min, math.sqrt(rng.p_min * rng.p_max), rng.p_max]
+        report = verify_perfect_scaling(costs, m, n, M, ps)
+        assert report.is_perfect(tol=1e-6)
+
+    def test_rejects_out_of_range_p(self, machine):
+        costs = ClassicalMatMulCosts()
+        n = 1e4
+        M = min(machine.memory_words, n**2 / 4)
+        rng = perfect_scaling_range(costs, n, M)
+        with pytest.raises(ParameterError):
+            verify_perfect_scaling(costs, machine, n, M, [rng.p_min, rng.p_max * 10])
+
+    def test_needs_two_points(self, machine):
+        with pytest.raises(ParameterError):
+            verify_perfect_scaling(
+                ClassicalMatMulCosts(), machine, 1e4, 1e6, [100.0]
+            )
+
+    def test_strassen_scaling(self, machine):
+        costs = StrassenMatMulCosts()
+        n = 1e4
+        M = min(machine.memory_words, n**2 / 4)
+        rng = perfect_scaling_range(costs, n, M)
+        report = verify_perfect_scaling(
+            costs, machine, n, M, [rng.p_min, rng.p_max]
+        )
+        assert report.is_perfect(tol=1e-6)
+
+    def test_nbody_scaling(self, machine):
+        costs = NBodyCosts(interaction_flops=20.0)
+        n = 1e6
+        M = min(machine.memory_words, n / 4)
+        rng = perfect_scaling_range(costs, n, M)
+        report = verify_perfect_scaling(
+            costs, machine, n, M, [rng.p_min, rng.p_max]
+        )
+        assert report.is_perfect(tol=1e-6)

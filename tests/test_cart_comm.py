@@ -1,0 +1,237 @@
+"""Tests for Cartesian topologies and sub-communicators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CommunicatorError, RankFailedError
+from repro.simmpi.cart import CartComm, factor_grid
+from repro.simmpi.engine import run_spmd
+
+
+class TestFactorGrid:
+    def test_square(self):
+        assert factor_grid(16, 2) == (4, 4)
+
+    def test_cube(self):
+        assert factor_grid(27, 3) == (3, 3, 3)
+
+    def test_product_invariant(self):
+        for p in (1, 2, 6, 12, 30, 64, 100):
+            for d in (1, 2, 3):
+                dims = factor_grid(p, d)
+                assert len(dims) == d
+                assert np.prod(dims) == p
+
+    @given(st.integers(min_value=1, max_value=512),
+           st.integers(min_value=1, max_value=4))
+    def test_property(self, p, d):
+        dims = factor_grid(p, d)
+        assert np.prod(dims) == p
+        assert all(x >= 1 for x in dims)
+        assert tuple(sorted(dims, reverse=True)) == dims
+
+    def test_invalid(self):
+        with pytest.raises(CommunicatorError):
+            factor_grid(0, 2)
+
+
+class TestCoordinates:
+    def test_row_major_mapping(self):
+        def prog(comm):
+            cc = CartComm(comm, (2, 3))
+            return cc.coords
+
+        out = run_spmd(6, prog)
+        assert out.results == ((0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2))
+
+    def test_roundtrip(self):
+        def prog(comm):
+            cc = CartComm(comm, (2, 2, 2))
+            return cc.coords_to_rank(cc.rank_to_coords(comm.rank)) == comm.rank
+
+        assert all(run_spmd(8, prog).results)
+
+    def test_periodic_wraparound(self):
+        def prog(comm):
+            cc = CartComm(comm, (4,))
+            return cc.coords_to_rank((5,))  # wraps to 1
+
+        assert run_spmd(4, prog).results[0] == 1
+
+    def test_nonperiodic_out_of_bounds(self):
+        def prog(comm):
+            cc = CartComm(comm, (4,), periodic=False)
+            cc.coords_to_rank((5,))
+
+        with pytest.raises(RankFailedError):
+            run_spmd(4, prog)
+
+    def test_dims_must_tile(self):
+        def prog(comm):
+            CartComm(comm, (2, 2))
+
+        with pytest.raises(RankFailedError):
+            run_spmd(6, prog)
+
+
+class TestShift:
+    def test_shift_ranks(self):
+        def prog(comm):
+            cc = CartComm(comm, (2, 2))
+            return cc.shift_ranks(dim=1, displacement=1)
+
+        out = run_spmd(4, prog)
+        # rank 0 = (0,0): src (0,-1)->(0,1)=1, dest (0,1)=1
+        assert out.results[0] == (1, 1)
+
+    def test_data_rotates(self):
+        def prog(comm):
+            cc = CartComm(comm, (4,))
+            return cc.shift(comm.rank * 10, dim=0, displacement=1)
+
+        out = run_spmd(4, prog)
+        assert out.results == (30, 0, 10, 20)
+
+    def test_negative_displacement(self):
+        def prog(comm):
+            cc = CartComm(comm, (4,))
+            return cc.shift(comm.rank, dim=0, displacement=-1)
+
+        out = run_spmd(4, prog)
+        assert out.results == (1, 2, 3, 0)
+
+    def test_row_shift_independent_rows(self):
+        def prog(comm):
+            cc = CartComm(comm, (2, 2))
+            i, j = cc.coords
+            got = cc.shift((i, j), dim=1, displacement=1)
+            return got[0] == i  # data never leaves the row
+
+        assert all(run_spmd(4, prog).results)
+
+    def test_bad_dim(self):
+        def prog(comm):
+            CartComm(comm, (2, 2)).shift(1, dim=5, displacement=1)
+
+        with pytest.raises(RankFailedError):
+            run_spmd(4, prog)
+
+
+class TestSub:
+    def test_rows_and_columns(self):
+        def prog(comm):
+            cc = CartComm(comm, (2, 3))
+            rowwise = cc.sub((False, True))  # vary j within fixed i
+            colwise = cc.sub((True, False))  # vary i within fixed j
+            return (
+                rowwise.comm.allgather(comm.rank),
+                colwise.comm.allgather(comm.rank),
+            )
+
+        out = run_spmd(6, prog)
+        # rank 4 = (1, 1): row partners {3,4,5}, column partners {1,4}
+        assert out.results[4] == ([3, 4, 5], [1, 4])
+
+    def test_cuboid_layers_and_fibers(self):
+        def prog(comm):
+            cc = CartComm(comm, (2, 2, 2))
+            layer = cc.sub((True, True, False))
+            fiber = cc.sub((False, False, True))
+            return (layer.size, fiber.size, fiber.comm.allgather(comm.rank))
+
+        out = run_spmd(8, prog)
+        for r, (lsz, fsz, fibmates) in enumerate(out.results):
+            assert lsz == 4 and fsz == 2
+            base = r - (r % 2)
+            assert fibmates == [base, base + 1]
+
+    def test_sub_local_rank_follows_kept_coords(self):
+        def prog(comm):
+            cc = CartComm(comm, (2, 3))
+            row = cc.sub((False, True))
+            return row.comm.rank == cc.coords[1]
+
+        assert all(run_spmd(6, prog).results)
+
+    def test_axis_helper(self):
+        def prog(comm):
+            cc = CartComm(comm, (2, 2))
+            ax = cc.axis(0)
+            return (ax.dims, ax.comm.size)
+
+        out = run_spmd(4, prog)
+        assert out.results[0] == ((2,), 2)
+
+    def test_sub_comms_isolated(self):
+        """Traffic on a sub-communicator must not leak into the parent."""
+
+        def prog(comm):
+            cc = CartComm(comm, (2, 2))
+            row = cc.sub((False, True))
+            row.comm.send(comm.rank, (row.comm.rank + 1) % 2, tag=0)
+            got = row.comm.recv((row.comm.rank + 1) % 2, tag=0)
+            return got
+
+        out = run_spmd(4, prog)
+        assert out.results == (1, 0, 3, 2)
+
+    def test_wrong_remain_length(self):
+        def prog(comm):
+            CartComm(comm, (2, 2)).sub((True,))
+
+        with pytest.raises(RankFailedError):
+            run_spmd(4, prog)
+
+
+class TestSplitDup:
+    def test_split_groups_by_color(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return sorted(sub.allgather(comm.rank))
+
+        out = run_spmd(6, prog)
+        assert out.results[0] == [0, 2, 4]
+        assert out.results[1] == [1, 3, 5]
+
+    def test_split_key_orders(self):
+        def prog(comm):
+            sub = comm.split(color=0, key=-comm.rank)  # reversed order
+            return sub.rank
+
+        out = run_spmd(4, prog)
+        assert out.results == (3, 2, 1, 0)
+
+    def test_split_metadata_unmetered(self):
+        out = run_spmd(4, lambda comm: comm.split(color=0) and None)
+        assert out.report.total_words == 0
+        assert out.report.total_messages == 0
+
+    def test_nested_splits_isolated_contexts(self):
+        def prog(comm):
+            a = comm.split(color=comm.rank % 2)
+            b = comm.split(color=comm.rank % 2)
+            # same partner sets, different contexts: no crosstalk
+            a.send("A", (a.rank + 1) % a.size, tag=0)
+            b.send("B", (b.rank + 1) % b.size, tag=0)
+            got_b = b.recv((b.rank + 1) % b.size, tag=0)
+            got_a = a.recv((a.rank + 1) % a.size, tag=0)
+            return (got_a, got_b)
+
+        out = run_spmd(4, prog)
+        assert all(v == ("A", "B") for v in out.results)
+
+    def test_dup(self):
+        def prog(comm):
+            d = comm.dup()
+            return (d.size, d.rank) == (comm.size, comm.rank)
+
+        assert all(run_spmd(3, prog).results)
+
+    def test_world_rank_preserved_through_split(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank // 2)
+            return sub.world_rank == comm.rank
+
+        assert all(run_spmd(6, prog).results)

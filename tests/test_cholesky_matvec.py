@@ -1,0 +1,152 @@
+"""Tests for Cholesky (sequential + parallel 2D) and the BLAS2 matvec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.cholesky import (
+    blocked_cholesky,
+    cholesky_2d,
+    cholesky_flop_count,
+)
+from repro.exceptions import ParameterError, RankFailedError
+from repro.sequential.cache import FastMemory
+from repro.sequential.matvec import matvec, matvec_traffic_model
+from repro.simmpi.engine import run_spmd
+
+
+def spd(n, rng):
+    x = rng.standard_normal((n, n))
+    return x @ x.T + n * np.eye(n)
+
+
+class TestBlockedCholesky:
+    @pytest.mark.parametrize("n,block", [(8, 2), (16, 16), (24, 8), (30, 7)])
+    def test_factors(self, n, block, rng):
+        a = spd(n, rng)
+        lo = blocked_cholesky(a, block=block)
+        assert np.allclose(lo @ lo.T, a)
+        assert np.allclose(lo, np.tril(lo))
+
+    def test_matches_numpy(self, rng):
+        a = spd(20, rng)
+        assert np.allclose(blocked_cholesky(a, block=5), np.linalg.cholesky(a))
+
+    def test_flops_order(self, rng):
+        n = 32
+        flops = []
+        blocked_cholesky(spd(n, rng), block=8, flop_counter=flops.append)
+        measured = sum(flops)
+        assert 0.5 * cholesky_flop_count(n) < measured < 4 * cholesky_flop_count(n)
+
+    def test_half_of_lu_flops(self, rng):
+        from repro.algorithms.lu import blocked_lu
+
+        n = 32
+        a = spd(n, rng)
+        fc, fl = [], []
+        blocked_cholesky(a, block=8, flop_counter=fc.append)
+        blocked_lu(a, block=8, flop_counter=fl.append)
+        assert sum(fc) < 0.75 * sum(fl)
+
+    def test_not_positive_definite(self, rng):
+        with pytest.raises(ParameterError):
+            blocked_cholesky(-np.eye(8))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ParameterError):
+            blocked_cholesky(np.zeros((4, 6)))
+
+
+class TestParallelCholesky:
+    @pytest.mark.parametrize("p", [1, 4, 9, 16])
+    def test_factors(self, p, rng):
+        n = 24
+        a = spd(n, rng)
+        out = run_spmd(p, cholesky_2d, a)
+        q = int(p**0.5)
+        lo = np.block([[out.results[i * q + j] for j in range(q)] for i in range(q)])
+        assert np.allclose(lo @ lo.T, a)
+        assert np.allclose(lo, np.tril(lo))
+
+    def test_matches_serial(self, rng):
+        n = 16
+        a = spd(n, rng)
+        ref = np.linalg.cholesky(a)
+        out = run_spmd(4, cholesky_2d, a)
+        lo = np.block([[out.results[0], out.results[1]],
+                       [out.results[2], out.results[3]]])
+        assert np.allclose(lo, ref)
+
+    def test_message_count_grows_with_p(self, rng):
+        """Cholesky shares LU's critical path: S grows with p."""
+        n = 48
+        a = spd(n, rng)
+        s4 = run_spmd(4, cholesky_2d, a).report.max_messages
+        s16 = run_spmd(16, cholesky_2d, a).report.max_messages
+        assert s16 > s4
+
+    def test_words_conserved(self, rng):
+        out = run_spmd(9, cholesky_2d, spd(24, rng))
+        assert out.report.words_conserved()
+
+    def test_indivisible_rejected(self, rng):
+        with pytest.raises(RankFailedError):
+            run_spmd(4, cholesky_2d, spd(9, rng))
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=5, deadline=None)
+    def test_property_random_spd(self, seed):
+        rng = np.random.default_rng(seed)
+        a = spd(16, rng)
+        out = run_spmd(4, cholesky_2d, a)
+        lo = np.block([[out.results[0], out.results[1]],
+                       [out.results[2], out.results[3]]])
+        assert np.allclose(lo @ lo.T, a)
+
+
+class TestMatvec:
+    def test_correct(self, rng):
+        a = rng.standard_normal((12, 20))
+        x = rng.standard_normal(20)
+        fm = FastMemory(3 * 20 + 12)
+        assert np.allclose(matvec(a, x, fm), a @ x)
+
+    def test_traffic_is_compulsory(self, rng):
+        n = 64
+        a = rng.standard_normal((n, n))
+        x = rng.standard_normal(n)
+        fm = FastMemory(3 * n)
+        matvec(a, x, fm)
+        assert fm.stats.words_moved == matvec_traffic_model(n)
+
+    def test_extra_memory_buys_nothing(self, rng):
+        """The paper's BLAS2 point: I+O dominates, replication can't help."""
+        n = 64
+        a = rng.standard_normal((n, n))
+        x = rng.standard_normal(n)
+        small = FastMemory(3 * n)
+        matvec(a, x, small)
+        big = FastMemory(100 * n)
+        matvec(a, x, big)
+        assert small.stats.words_moved == big.stats.words_moved
+
+    def test_io_term_dominates_bound(self, rng):
+        """For matvec, Eq. (3)'s max() is won by I+O, not F/sqrt(M)."""
+        from repro.core.bounds import sequential_bandwidth_lower_bound
+
+        n = 64
+        M = 3 * n
+        flops = 2.0 * n * n
+        io = matvec_traffic_model(n)
+        assert sequential_bandwidth_lower_bound(flops, M, io) == io
+
+    def test_too_small_memory_rejected(self, rng):
+        a = rng.standard_normal((8, 8))
+        with pytest.raises(ParameterError):
+            matvec(a, np.ones(8), FastMemory(10))
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ParameterError):
+            matvec(rng.standard_normal((4, 4)), np.ones(5), FastMemory(100))

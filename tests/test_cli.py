@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if hasattr(a, "choices") and a.choices
+        )
+        assert set(sub.choices) == {
+            "table1",
+            "table2",
+            "fig3",
+            "fig4",
+            "fig6",
+            "fig7",
+            "validate",
+            "questions",
+            "report",
+        }
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "core_freq_ghz" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Sandy Bridge" in out and "GFLOPS/W" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--n", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "knees" in out and "classical W*p" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "M0" in out and "admissible" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6", "--generations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "gamma_e" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--generations", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "75 GFLOPS/W crossed at generation 5.56" in out
+
+    def test_questions(self, capsys):
+        assert main(["questions"]) == 0
+        out = capsys.readouterr().out
+        assert "[1]" in out and "[5]" in out and "GFLOPS/W" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "matmul25d c=1" in out and "nbody c=1" in out

@@ -1,0 +1,135 @@
+"""Tests for the inverse-design module (question 5 / Section VI)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.codesign import (
+    CodesignProblem,
+    cheapest_conforming_machine,
+    efficiency,
+    feasible_scaling,
+)
+from repro.core.costs import ClassicalMatMulCosts, NBodyCosts, StrassenMatMulCosts
+from repro.exceptions import InfeasibleError, ParameterError
+from repro.machines.catalog import JAKETOWN
+
+N = 35000.0
+
+
+class TestEfficiency:
+    def test_positive(self):
+        assert efficiency(ClassicalMatMulCosts(), JAKETOWN, N) > 0
+
+    def test_below_gamma_only_bound(self):
+        # Full-model efficiency cannot beat 1/gamma_e.
+        eff = efficiency(ClassicalMatMulCosts(), JAKETOWN, N)
+        assert eff < 1.0 / JAKETOWN.gamma_e / 1e9
+
+    def test_memory_clamped_to_problem(self):
+        # Asking for more memory than one copy changes nothing.
+        e1 = efficiency(ClassicalMatMulCosts(), JAKETOWN, N, M=N * N)
+        e2 = efficiency(ClassicalMatMulCosts(), JAKETOWN, N, M=N * N * 100)
+        assert e1 == pytest.approx(e2)
+
+    def test_improving_gamma_e_raises_efficiency(self):
+        better = JAKETOWN.scale(gamma_e=0.5)
+        assert efficiency(ClassicalMatMulCosts(), better, N) > efficiency(
+            ClassicalMatMulCosts(), JAKETOWN, N
+        )
+
+    def test_works_for_other_algorithms(self):
+        assert efficiency(StrassenMatMulCosts(), JAKETOWN, 4096.0) > 0
+        assert efficiency(NBodyCosts(interaction_flops=20.0), JAKETOWN, 1e6) > 0
+
+
+class TestFeasibleScaling:
+    def test_already_met(self):
+        assert feasible_scaling(0.01, JAKETOWN, n=N) == 1.0
+
+    def test_target_reached_exactly(self):
+        f = feasible_scaling(75.0, JAKETOWN, n=N)
+        scaled = JAKETOWN.scale(gamma_e=f, beta_e=f, delta_e=f)
+        assert efficiency(ClassicalMatMulCosts(), scaled, N) == pytest.approx(
+            75.0, rel=1e-3
+        )
+
+    def test_matches_case_study_ballpark(self):
+        # ~5 generations of halving: factor ~2^-5.
+        f = feasible_scaling(75.0, JAKETOWN, n=N)
+        assert 3.5 < -math.log2(f) < 6.5
+
+    def test_infeasible_with_unscaled_leakage(self):
+        leaky = JAKETOWN.replace(epsilon_e=10.0)
+        with pytest.raises(InfeasibleError):
+            feasible_scaling(1e6, leaky, n=N)
+
+    def test_invalid_target(self):
+        with pytest.raises(ParameterError):
+            feasible_scaling(0.0, JAKETOWN)
+
+
+class TestCodesignProblem:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            CodesignProblem(JAKETOWN, -1.0)
+        with pytest.raises(ParameterError):
+            CodesignProblem(JAKETOWN, 10.0, cost_weights={"gamma_t": 1.0})
+        with pytest.raises(ParameterError):
+            CodesignProblem(JAKETOWN, 10.0, cost_weights={"gamma_e": 0.0})
+
+    def test_design_cost_zero_at_no_change(self):
+        prob = CodesignProblem(JAKETOWN, 10.0)
+        assert prob.design_cost(np.ones(3)) == 0.0
+
+    def test_design_cost_weighted_efoldings(self):
+        prob = CodesignProblem(
+            JAKETOWN, 10.0, cost_weights={"gamma_e": 2.0, "beta_e": 1.0}
+        )
+        s = np.array([math.exp(-1.0), math.exp(-3.0)])
+        assert prob.design_cost(s) == pytest.approx(2.0 + 3.0)
+
+
+class TestCheapestConformingMachine:
+    def test_target_met(self):
+        prob = CodesignProblem(JAKETOWN, 10.0)
+        machine, s, cost = cheapest_conforming_machine(prob)
+        assert efficiency(ClassicalMatMulCosts(), machine, N) >= 10.0 * (1 - 1e-6)
+        assert cost > 0
+
+    def test_no_change_needed(self):
+        prob = CodesignProblem(JAKETOWN, 0.1)
+        machine, s, cost = cheapest_conforming_machine(prob)
+        assert cost == 0.0
+        assert np.allclose(s, 1.0)
+
+    def test_cheap_parameter_preferred(self):
+        """If improving gamma_e is nearly free, the optimum leans on it."""
+        prob = CodesignProblem(
+            JAKETOWN,
+            10.0,
+            cost_weights={"gamma_e": 0.01, "beta_e": 10.0, "delta_e": 10.0},
+        )
+        _, s, _ = cheapest_conforming_machine(prob)
+        by = dict(zip(prob.names, s))
+        assert by["gamma_e"] < by["beta_e"]
+        assert by["gamma_e"] < by["delta_e"]
+
+    def test_infeasible(self):
+        leaky = JAKETOWN.replace(epsilon_e=10.0)
+        prob = CodesignProblem(
+            leaky, 1e9, cost_weights={"gamma_e": 1.0}
+        )
+        with pytest.raises(InfeasibleError):
+            cheapest_conforming_machine(prob)
+
+    def test_cost_no_worse_than_uniform_scaling(self):
+        """The optimized design should cost at most the naive uniform
+        halving of all three parameters (it has more freedom)."""
+        target = 20.0
+        prob = CodesignProblem(JAKETOWN, target)
+        _, _, cost = cheapest_conforming_machine(prob)
+        f = feasible_scaling(target, JAKETOWN, n=N)
+        uniform_cost = 3.0 * (-math.log(f))
+        assert cost <= uniform_cost * 1.05

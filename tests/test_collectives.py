@@ -1,0 +1,285 @@
+"""Tests for collective operations: correctness on every rank and the
+advertised word/message costs."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CommunicatorError, RankFailedError
+from repro.simmpi.engine import run_spmd
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_completes(self, p):
+        out = run_spmd(p, lambda comm: comm.barrier())
+        assert out.results == (None,) * p
+
+    def test_costs_log_p_zero_word_messages(self):
+        out = run_spmd(8, lambda comm: comm.barrier())
+        for snap in out.report.ranks:
+            assert snap.words_sent == 0
+            assert snap.messages_sent == 3  # ceil(log2 8)
+
+    def test_actually_synchronizes(self):
+        """No rank may pass the barrier before every rank has reached it."""
+        import threading
+
+        arrived = []
+        lock = threading.Lock()
+
+        def prog(comm):
+            import time
+
+            if comm.rank == 0:
+                time.sleep(0.1)
+            with lock:
+                arrived.append(comm.rank)
+            comm.barrier()
+            with lock:
+                return len(arrived)
+
+        out = run_spmd(4, prog)
+        assert all(v == 4 for v in out.results)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("p", [1, 2, 4, 5, 7])
+    @pytest.mark.parametrize("root", [0, "last"])
+    def test_value_on_all_ranks(self, p, root):
+        root_rank = p - 1 if root == "last" else 0
+
+        def prog(comm):
+            payload = np.arange(6) if comm.rank == root_rank else None
+            return comm.bcast(payload, root=root_rank).sum()
+
+        out = run_spmd(p, prog)
+        assert out.results == (15,) * p
+
+    def test_each_rank_receives_once(self):
+        out = run_spmd(
+            8, lambda comm: comm.bcast(np.zeros(100) if comm.rank == 0 else None)
+        )
+        for snap in out.report.ranks[1:]:
+            assert snap.words_received == 100
+            assert snap.messages_received == 1
+
+    def test_root_sends_log_p_copies_binomial(self):
+        out = run_spmd(
+            8, lambda comm: comm.bcast(np.zeros(100) if comm.rank == 0 else None)
+        )
+        assert out.report.ranks[0].words_sent == 300  # log2(8) copies
+
+    def test_scatter_allgather_bounds_root_traffic(self):
+        def prog(comm):
+            payload = np.arange(64.0) if comm.rank == 0 else None
+            got = comm.bcast(payload, root=0, algorithm="scatter_allgather")
+            return got.sum()
+
+        out = run_spmd(8, prog)
+        assert out.results == (sum(range(64)),) * 8
+        # Root: scatter (7/8 of payload) + its allgather ring share
+        # (~payload) + metadata — far below the 3 payloads binomial costs.
+        assert out.report.ranks[0].words_sent < 64 * 2.5
+
+    def test_scatter_allgather_preserves_shape_dtype(self):
+        def prog(comm):
+            payload = (
+                np.arange(12, dtype=np.float32).reshape(3, 4)
+                if comm.rank == 0
+                else None
+            )
+            return comm.bcast(payload, root=0, algorithm="scatter_allgather")
+
+        out = run_spmd(4, prog)
+        for got in out.results:
+            assert got.shape == (3, 4) and got.dtype == np.float32
+
+    def test_scatter_allgather_needs_ndarray(self):
+        def prog(comm):
+            comm.bcast("nope" if comm.rank == 0 else None,
+                       algorithm="scatter_allgather")
+
+        with pytest.raises(RankFailedError):
+            run_spmd(4, prog)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(RankFailedError):
+            run_spmd(2, lambda comm: comm.bcast(1, algorithm="wat"))
+
+    def test_bad_root(self):
+        with pytest.raises(RankFailedError):
+            run_spmd(2, lambda comm: comm.bcast(1, root=5))
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 6, 8])
+    def test_sum_to_root(self, p):
+        def prog(comm):
+            return comm.reduce(np.full(3, float(comm.rank + 1)), root=0)
+
+        out = run_spmd(p, prog)
+        expected = p * (p + 1) / 2
+        assert np.allclose(out.results[0], expected)
+        assert all(r is None for r in out.results[1:])
+
+    def test_nonzero_root(self):
+        out = run_spmd(5, lambda comm: comm.reduce(comm.rank, root=3))
+        assert out.results[3] == 10
+        assert out.results[0] is None
+
+    def test_custom_op(self):
+        def prog(comm):
+            return comm.reduce(comm.rank + 1, op=lambda a, b: a * b, root=0)
+
+        out = run_spmd(4, prog)
+        assert out.results[0] == 24
+
+    def test_reduce_scatter_gather_matches_binomial(self):
+        def prog(comm):
+            data = np.arange(40.0) * (comm.rank + 1)
+            a = comm.reduce(data, root=0, algorithm="binomial")
+            b = comm.reduce(data, root=0, algorithm="reduce_scatter_gather")
+            if comm.rank == 0:
+                return np.allclose(a, b)
+            return a is None and b is None
+
+        out = run_spmd(4, prog)
+        assert all(out.results)
+
+    def test_reduce_scatter_gather_traffic_bounded(self):
+        def prog(comm):
+            comm.reduce(np.zeros(80), root=0, algorithm="reduce_scatter_gather")
+
+        out = run_spmd(8, prog)
+        # Every rank ships ~1x the payload in the ring + one chunk to root:
+        # well under binomial's log p factor for interior ranks.
+        for snap in out.report.ranks:
+            assert snap.words_sent <= 80 + 80 // 8 + 2
+
+
+class TestAllreduceAllgather:
+    @pytest.mark.parametrize("p", [1, 2, 4, 5])
+    def test_allreduce_same_everywhere(self, p):
+        out = run_spmd(p, lambda comm: comm.allreduce(comm.rank + 1))
+        assert out.results == (p * (p + 1) // 2,) * p
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 6])
+    def test_allgather_order(self, p):
+        out = run_spmd(p, lambda comm: comm.allgather(comm.rank * 2))
+        expected = [2 * r for r in range(p)]
+        assert all(got == expected for got in out.results)
+
+    def test_allgather_ring_cost(self):
+        out = run_spmd(4, lambda comm: comm.allgather(np.zeros(10)))
+        for snap in out.report.ranks:
+            assert snap.words_sent == 30  # (p-1) blocks forwarded
+            assert snap.messages_sent == 3
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        out = run_spmd(4, lambda comm: comm.gather(comm.rank**2, root=1))
+        assert out.results[1] == [0, 1, 4, 9]
+        assert out.results[0] is None
+
+    def test_scatter(self):
+        def prog(comm):
+            objs = [f"item{r}" for r in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        out = run_spmd(4, prog)
+        assert out.results == ("item0", "item1", "item2", "item3")
+
+    def test_scatter_wrong_length(self):
+        def prog(comm):
+            comm.scatter([1, 2] if comm.rank == 0 else None, root=0)
+
+        with pytest.raises(RankFailedError):
+            run_spmd(4, prog)
+
+    def test_gather_scatter_roundtrip(self, rng):
+        data = rng.standard_normal(12)
+
+        def prog(comm):
+            chunks = np.array_split(data, comm.size) if comm.rank == 0 else None
+            mine = comm.scatter(chunks, root=0)
+            back = comm.gather(mine, root=0)
+            if comm.rank == 0:
+                return np.concatenate(back)
+            return None
+
+        out = run_spmd(3, prog)
+        assert np.allclose(out.results[0], data)
+
+
+class TestAllToAll:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7])
+    def test_cyclic_exchange(self, p):
+        def prog(comm):
+            blocks = [(comm.rank, d) for d in range(comm.size)]
+            got = comm.alltoall(blocks)
+            return got
+
+        out = run_spmd(p, prog)
+        for r, got in enumerate(out.results):
+            assert got == [(s, r) for s in range(p)]
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_bruck_matches_cyclic(self, p):
+        def prog(comm):
+            blocks = [np.array([comm.rank * 100 + d]) for d in range(comm.size)]
+            a = comm.alltoall(blocks)
+            b = comm.alltoall_bruck(blocks)
+            return all(np.array_equal(x, y) for x, y in zip(a, b))
+
+        out = run_spmd(p, prog)
+        assert all(out.results)
+
+    def test_bruck_requires_power_of_two(self):
+        def prog(comm):
+            comm.alltoall_bruck([None] * comm.size)
+
+        with pytest.raises(RankFailedError):
+            run_spmd(3, prog)
+
+    def test_message_counts_naive_vs_bruck(self):
+        def naive(comm):
+            comm.alltoall([np.zeros(4) for _ in range(comm.size)])
+
+        def bruck(comm):
+            comm.alltoall_bruck([np.zeros(4) for _ in range(comm.size)])
+
+        p = 8
+        out_n = run_spmd(p, naive)
+        out_b = run_spmd(p, bruck)
+        assert out_n.report.max_messages == p - 1
+        assert out_b.report.max_messages == math.log2(p)
+        # Bruck ships more words (each travels up to log p hops).
+        assert out_b.report.max_words > out_n.report.max_words
+
+    def test_wrong_block_count(self):
+        with pytest.raises(RankFailedError):
+            run_spmd(4, lambda comm: comm.alltoall([1, 2]))
+
+
+class TestConservationProperty:
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_words_conserved_across_collectives(self, p, seed):
+        """Whatever mix of collectives runs, total sent == total received."""
+
+        def prog(comm):
+            data = np.full(4 + seed, float(comm.rank))
+            comm.bcast(data if comm.rank == 0 else None)
+            comm.allreduce(data)
+            comm.allgather(comm.rank)
+            comm.barrier()
+            if comm.size >= 2:
+                comm.alltoall([np.zeros(2) for _ in range(comm.size)])
+
+        out = run_spmd(p, prog)
+        assert out.report.words_conserved()

@@ -1,0 +1,134 @@
+"""Tests for the additional collective algorithms: recursive-doubling
+allreduce and ring reduce-scatter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import RankFailedError
+from repro.simmpi.engine import run_spmd
+
+
+class TestRecursiveDoublingAllreduce:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 7, 8])
+    def test_matches_reduce_bcast(self, p):
+        def prog(comm):
+            data = np.arange(6.0) * (comm.rank + 1)
+            a = comm.allreduce(data, algorithm="reduce_bcast")
+            b = comm.allreduce(data, algorithm="recursive_doubling")
+            return np.allclose(a, b)
+
+        assert all(run_spmd(p, prog).results)
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_value_correct_power_of_two(self, p):
+        out = run_spmd(
+            p,
+            lambda comm: comm.allreduce(
+                comm.rank + 1.0, algorithm="recursive_doubling"
+            ),
+        )
+        assert out.results == (p * (p + 1) / 2,) * p
+
+    def test_non_power_of_two_folds(self):
+        p = 6
+        out = run_spmd(
+            p,
+            lambda comm: comm.allreduce(
+                float(comm.rank), algorithm="recursive_doubling"
+            ),
+        )
+        assert out.results == (15.0,) * p
+
+    def test_round_count_power_of_two(self):
+        """Recursive doubling: log2 p rounds of pairwise sendrecv."""
+        p = 8
+
+        def prog(comm):
+            comm.allreduce(np.zeros(16), algorithm="recursive_doubling")
+
+        out = run_spmd(p, prog)
+        for snap in out.report.ranks:
+            assert snap.messages_sent == 3  # log2(8)
+
+    def test_balanced_traffic_vs_reduce_bcast(self):
+        """Recursive doubling spreads traffic evenly; reduce+bcast loads
+        the root."""
+        p = 8
+
+        def rd(comm):
+            comm.allreduce(np.zeros(64), algorithm="recursive_doubling")
+
+        def rb(comm):
+            comm.allreduce(np.zeros(64), algorithm="reduce_bcast")
+
+        out_rd = run_spmd(p, rd).report
+        out_rb = run_spmd(p, rb).report
+
+        def spread(rep):
+            sent = [s.words_sent for s in rep.ranks]
+            return max(sent) - min(sent)
+
+        assert spread(out_rd) == 0  # perfectly symmetric
+        assert spread(out_rb) > 0  # root/leaf asymmetry
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(RankFailedError):
+            run_spmd(2, lambda comm: comm.allreduce(1, algorithm="psychic"))
+
+    @given(st.integers(min_value=1, max_value=9), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random(self, p, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((p, 5))
+
+        def prog(comm):
+            return comm.allreduce(
+                data[comm.rank].copy(), algorithm="recursive_doubling"
+            )
+
+        out = run_spmd(p, prog)
+        for got in out.results:
+            assert np.allclose(got, data.sum(axis=0))
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 6])
+    def test_chunks_partition_the_reduction(self, p):
+        size = 12
+
+        def prog(comm):
+            data = np.arange(float(size)) * (comm.rank + 1)
+            return comm.reduce_scatter(data)
+
+        out = run_spmd(p, prog)
+        full = np.arange(float(size)) * sum(range(1, p + 1))
+        got = np.concatenate(out.results)
+        assert np.allclose(got, full)
+
+    def test_chunk_ownership_order(self):
+        p, size = 4, 8
+
+        def prog(comm):
+            return comm.reduce_scatter(np.arange(float(size)))
+
+        out = run_spmd(p, prog)
+        expected_chunks = np.array_split(np.arange(float(size)) * p, p)
+        for r in range(p):
+            assert np.allclose(out.results[r], expected_chunks[r])
+
+    def test_needs_ndarray(self):
+        with pytest.raises(RankFailedError):
+            run_spmd(2, lambda comm: comm.reduce_scatter([1, 2]))
+
+    def test_traffic_is_about_one_payload(self):
+        p, size = 8, 80
+
+        def prog(comm):
+            comm.reduce_scatter(np.zeros(size))
+
+        out = run_spmd(p, prog)
+        for snap in out.report.ranks:
+            # (p-1) chunks + the rotation chunk ~ size words.
+            assert snap.words_sent <= size + size // p + 2

@@ -1,0 +1,146 @@
+"""Tests for the generic (p, M) frontier — the tech-report extension of
+Fig. 4 to matmul/Strassen."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.frontier import CostModelFrontier, NBodyFrontier
+from repro.core.costs import (
+    ClassicalMatMulCosts,
+    NBodyCosts,
+    StrassenMatMulCosts,
+)
+from repro.core.optimize import NBodyOptimizer
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def fr(machine):
+    return CostModelFrontier(ClassicalMatMulCosts(), machine, n=1e4)
+
+
+def axes(fr, p_points=12, m_points=12):
+    n = fr.n
+    p = np.geomspace(4, 1e6, p_points)
+    M = np.geomspace(n, n * n, m_points)
+    return p, M
+
+
+class TestWedge:
+    def test_memory_limits_matmul(self, fr):
+        p = np.array([100.0])
+        lo, hi = fr.memory_limits(p)
+        assert lo[0] == pytest.approx(1e8 / 100)
+        assert hi[0] == pytest.approx(min(1e8 / 100 ** (2 / 3), fr.machine.memory_words))
+
+    def test_machine_memory_caps_wedge(self, machine):
+        tight = machine.replace(memory_words=1e5, max_message_words=1e4)
+        fr = CostModelFrontier(ClassicalMatMulCosts(), tight, n=1e4)
+        _, hi = fr.memory_limits(np.array([4.0]))
+        assert hi[0] == 1e5
+
+    def test_grid_masks_outside(self, fr):
+        p, M = axes(fr)
+        grid = fr.grid(p, M)
+        assert grid.feasible.any()
+        assert np.isnan(grid.energy[~grid.feasible]).all()
+        assert np.isfinite(grid.energy[grid.feasible]).all()
+
+    def test_invalid(self, fr):
+        with pytest.raises(ParameterError):
+            fr.grid(np.array([-1.0]), np.array([10.0]))
+        with pytest.raises(ParameterError):
+            CostModelFrontier(ClassicalMatMulCosts(), fr.machine, 0)
+
+
+class TestEnergyStructure:
+    def test_matmul_energy_constant_along_p(self, fr):
+        """The headline fact holds on the matmul frontier too."""
+        p, M = axes(fr, p_points=20)
+        grid = fr.grid(p, M)
+        for mi in range(len(M)):
+            vals = grid.energy[mi][np.isfinite(grid.energy[mi])]
+            if len(vals) > 1:
+                assert np.allclose(vals, vals[0], rtol=1e-9)
+
+    def test_time_falls_along_p(self, fr):
+        p, M = axes(fr, p_points=20)
+        grid = fr.grid(p, M)
+        for mi in range(len(M)):
+            row = grid.time[mi]
+            finite = np.isfinite(row)
+            vals = row[finite]
+            if len(vals) > 1:
+                assert np.all(np.diff(vals) < 0)
+
+    def test_strassen_wedge_narrower(self, machine):
+        n = 1e4
+        frc = CostModelFrontier(ClassicalMatMulCosts(), machine, n)
+        frs = CostModelFrontier(StrassenMatMulCosts(), machine, n)
+        p = np.array([1e4])
+        _, hi_c = frc.memory_limits(p)
+        _, hi_s = frs.memory_limits(p)
+        assert hi_s[0] <= hi_c[0]
+
+    def test_agrees_with_nbody_closed_form(self, machine):
+        """Generic frontier == closed-form NBodyFrontier on the same grid."""
+        n = 1e6
+        f = 10.0
+        generic = CostModelFrontier(NBodyCosts(interaction_flops=f), machine, n)
+        closed = NBodyFrontier(NBodyOptimizer(machine, interaction_flops=f), n)
+        p = np.geomspace(10, 1e5, 10)
+        M = np.geomspace(n / 1e5, n, 10)
+        g1 = generic.grid(p, M)
+        g2 = closed.grid(p, M)
+        # The generic wedge additionally caps M at physical memory; it
+        # can only be a subset of the closed-form wedge.
+        assert not (g1.feasible & ~g2.feasible).any()
+        both = g1.feasible & g2.feasible
+        assert both.any()
+        assert np.allclose(g1.energy[both], g2.energy[both], rtol=1e-9)
+        assert np.allclose(g1.time[both], g2.time[both], rtol=1e-9)
+
+
+class TestRegions:
+    def test_energy_budget_nested(self, fr):
+        p, M = axes(fr)
+        grid = fr.grid(p, M)
+        e_min = np.nanmin(grid.energy)
+        small = fr.energy_budget_region(grid, e_min * 1.01)
+        large = fr.energy_budget_region(grid, e_min * 10)
+        assert small.sum() <= large.sum()
+        assert not (small & ~large).any()
+
+    def test_time_budget_prefers_large_p(self, fr):
+        p, M = axes(fr)
+        grid = fr.grid(p, M)
+        t_min = np.nanmin(grid.time)
+        region = fr.time_budget_region(grid, t_min * 4)
+        assert region.any()
+        # Every admitted cell is in the faster (right) half of its row's
+        # feasible span.
+        for mi in range(len(M)):
+            cols = np.nonzero(region[mi])[0]
+            feas = np.nonzero(grid.feasible[mi])[0]
+            if len(cols) and len(feas) > 1:
+                assert cols.max() == feas.max()
+
+    def test_total_power_region(self, fr):
+        p, M = axes(fr)
+        grid = fr.grid(p, M)
+        with np.errstate(invalid="ignore"):
+            powers = grid.energy / grid.time
+        cap = np.nanmin(powers) * 5
+        region = fr.total_power_region(grid, cap)
+        assert region.any()
+        assert not (region & ~grid.feasible).any()
+
+    def test_budget_validation(self, fr):
+        p, M = axes(fr)
+        grid = fr.grid(p, M)
+        with pytest.raises(ParameterError):
+            fr.energy_budget_region(grid, 0)
+        with pytest.raises(ParameterError):
+            fr.time_budget_region(grid, -1)
+        with pytest.raises(ParameterError):
+            fr.total_power_region(grid, 0)

@@ -1,0 +1,264 @@
+"""Unit and property tests for the per-algorithm cost expressions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.costs import (
+    OMEGA_STRASSEN,
+    Classical2DMatMulCosts,
+    ClassicalMatMulCosts,
+    FFTCosts,
+    LU25DCosts,
+    NBodyCosts,
+    StrassenMatMulCosts,
+    validate_memory,
+)
+from repro.exceptions import MemoryRangeError, ParameterError
+
+sizes = st.floats(min_value=64.0, max_value=1e7)
+procs = st.floats(min_value=1.0, max_value=1e6)
+
+
+class TestClassicalMatMul:
+    costs = ClassicalMatMulCosts()
+
+    def test_flops(self):
+        assert self.costs.flops(100, 4, 1e4) == pytest.approx(100**3 / 4)
+
+    def test_words_eq8(self):
+        n, p, M = 1000.0, 8.0, 1e5
+        assert self.costs.words(n, p, M) == pytest.approx(n**3 / (p * math.sqrt(M)))
+
+    def test_messages_is_words_over_m(self):
+        n, p, M, m = 1000.0, 8.0, 1e5, 512.0
+        assert self.costs.messages(n, p, M, m) == pytest.approx(
+            self.costs.words(n, p, M) / m
+        )
+
+    def test_memory_range_endpoints(self):
+        n, p = 1000.0, 64.0
+        lo, hi = self.costs.memory_range(n, p)
+        assert lo == pytest.approx(n**2 / p)
+        assert hi == pytest.approx(n**2 / p ** (2 / 3))
+
+    def test_p_min_inverts_memory_min(self):
+        n, M = 1000.0, 1e5
+        p = self.costs.p_min(n, M)
+        assert self.costs.memory_min(n, p) == pytest.approx(M)
+
+    def test_p_max_inverts_memory_max(self):
+        n, M = 1000.0, 1e5
+        p = self.costs.p_max_perfect(n, M)
+        assert self.costs.memory_max(n, p) == pytest.approx(M)
+
+    def test_replication_factor(self):
+        n, p = 1000.0, 100.0
+        assert self.costs.replication_factor(n, p, 3 * n**2 / p) == pytest.approx(3.0)
+
+    @given(sizes, procs, st.floats(min_value=2.0, max_value=1e9))
+    def test_more_memory_less_traffic(self, n, p, M):
+        assert self.costs.words(n, p, 2 * M) < self.costs.words(n, p, M)
+
+    @given(sizes, procs, st.floats(min_value=2.0, max_value=1e9))
+    def test_words_times_p_independent_of_p(self, n, p, M):
+        w1 = self.costs.words(n, p, M) * p
+        w2 = self.costs.words(n, 2 * p, M) * 2 * p
+        assert w1 == pytest.approx(w2, rel=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            self.costs.flops(0, 4, 1e4)
+        with pytest.raises(ParameterError):
+            self.costs.words(10, -1, 1e4)
+        with pytest.raises(ParameterError):
+            self.costs.words(10, 4, 0)
+        with pytest.raises(ParameterError):
+            self.costs.messages(10, 4, 100, 0)
+
+
+class TestClassical2D:
+    costs = Classical2DMatMulCosts()
+
+    def test_words_fixed_memory_point(self):
+        n, p = 1000.0, 16.0
+        assert self.costs.words(n, p) == pytest.approx(n**2 / 4.0)
+
+    def test_degenerate_memory_range(self):
+        n, p = 1000.0, 16.0
+        lo, hi = self.costs.memory_range(n, p)
+        assert lo == hi == pytest.approx(n**2 / p)
+
+    def test_matches_25d_at_floor(self):
+        n, p = 1000.0, 16.0
+        M = n**2 / p
+        full = ClassicalMatMulCosts()
+        assert self.costs.words(n, p) == pytest.approx(full.words(n, p, M))
+
+
+class TestStrassen:
+    costs = StrassenMatMulCosts()
+
+    def test_omega_default(self):
+        assert self.costs.omega0 == pytest.approx(math.log2(7))
+
+    def test_omega_validation(self):
+        with pytest.raises(ParameterError):
+            StrassenMatMulCosts(omega0=2.0)
+        with pytest.raises(ParameterError):
+            StrassenMatMulCosts(omega0=3.5)
+
+    def test_flops(self):
+        n, p = 1024.0, 7.0
+        assert self.costs.flops(n, p, 1.0) == pytest.approx(n**OMEGA_STRASSEN / p)
+
+    def test_omega3_matches_classical(self):
+        s3 = StrassenMatMulCosts(omega0=3.0)
+        c = ClassicalMatMulCosts()
+        n, p, M = 512.0, 8.0, 1e4
+        assert s3.words(n, p, M) == pytest.approx(c.words(n, p, M))
+        assert s3.memory_max(n, p) == pytest.approx(c.memory_max(n, p))
+
+    def test_memory_ceiling_below_classical(self):
+        # Strassen saturates at n^2/p^(2/omega0) < n^2/p^(2/3).
+        n, p = 1000.0, 64.0
+        assert self.costs.memory_max(n, p) < ClassicalMatMulCosts().memory_max(n, p)
+
+    def test_scaling_range_narrower_than_classical(self):
+        n, M = 1000.0, 1e4
+        assert self.costs.p_max_perfect(n, M) < ClassicalMatMulCosts().p_max_perfect(
+            n, M
+        )
+
+    @given(sizes, procs, st.floats(min_value=2.0, max_value=1e9))
+    def test_words_times_p_independent_of_p(self, n, p, M):
+        w1 = self.costs.words(n, p, M) * p
+        w2 = self.costs.words(n, 3 * p, M) * 3 * p
+        assert w1 == pytest.approx(w2, rel=1e-9)
+
+
+class TestLU25D:
+    costs = LU25DCosts()
+
+    def test_bandwidth_matches_matmul(self):
+        n, p, M = 1000.0, 16.0, 1e5
+        assert self.costs.words(n, p, M) == pytest.approx(
+            ClassicalMatMulCosts().words(n, p, M)
+        )
+
+    def test_latency_is_sqrt_cp(self):
+        n = 1000.0
+        M = 1e5
+        p = 16.0
+        c = M * p / n**2
+        s = self.costs.messages(n, p, M, m=1e6)
+        assert s == pytest.approx(math.sqrt(c * p), rel=1e-9)
+
+    def test_latency_grows_with_p(self):
+        # The anti-scaling fact the paper highlights.
+        n, M = 1000.0, 1e5
+        s1 = self.costs.messages(n, 16.0, M, 1e6)
+        s2 = self.costs.messages(n, 64.0, M, 1e6)
+        assert s2 > s1
+
+    def test_latency_independent_of_message_size(self):
+        n, p, M = 1000.0, 16.0, 1e5
+        assert self.costs.messages(n, p, M, 10.0) == self.costs.messages(
+            n, p, M, 1e9
+        )
+
+    def test_replication(self):
+        assert self.costs.replication(1000.0, 16.0, 1000.0**2 / 16.0) == pytest.approx(
+            1.0
+        )
+
+
+class TestNBody:
+    costs = NBodyCosts(interaction_flops=10.0)
+
+    def test_flops_carry_f(self):
+        assert self.costs.flops(100.0, 4.0, 10.0) == pytest.approx(10 * 100**2 / 4)
+
+    def test_f_validation(self):
+        with pytest.raises(ParameterError):
+            NBodyCosts(interaction_flops=0.0)
+
+    def test_words(self):
+        n, p, M = 1e4, 16.0, 100.0
+        assert self.costs.words(n, p, M) == pytest.approx(n**2 / (p * M))
+
+    def test_memory_range(self):
+        n, p = 1e4, 16.0
+        assert self.costs.memory_min(n, p) == pytest.approx(n / p)
+        assert self.costs.memory_max(n, p) == pytest.approx(n / 4.0)
+
+    def test_p_bounds(self):
+        n, M = 1e4, 100.0
+        assert self.costs.p_min(n, M) == pytest.approx(100.0)
+        assert self.costs.p_max_perfect(n, M) == pytest.approx(1e4)
+
+    @given(sizes, procs, st.floats(min_value=1.0, max_value=1e6))
+    def test_words_times_p_independent_of_p(self, n, p, M):
+        w1 = self.costs.words(n, p, M) * p
+        w2 = self.costs.words(n, 5 * p, M) * 5 * p
+        assert w1 == pytest.approx(w2, rel=1e-9)
+
+
+class TestFFT:
+    def test_mode_validation(self):
+        with pytest.raises(ParameterError):
+            FFTCosts(all_to_all="magic")
+
+    def test_flops(self):
+        c = FFTCosts()
+        assert c.flops(1024.0, 4.0) == pytest.approx(1024 * 10 / 4)
+
+    def test_naive_costs(self):
+        c = FFTCosts(all_to_all="naive")
+        assert c.words(1024.0, 8.0) == pytest.approx(128.0)
+        assert c.messages(1024.0, 8.0) == pytest.approx(8.0)
+
+    def test_tree_costs(self):
+        c = FFTCosts(all_to_all="tree")
+        assert c.words(1024.0, 8.0) == pytest.approx(1024 * 3 / 8)
+        assert c.messages(1024.0, 8.0) == pytest.approx(3.0)
+
+    def test_single_rank_no_comm(self):
+        c = FFTCosts()
+        assert c.words(1024.0, 1.0) == 0.0
+        assert c.messages(1024.0, 1.0) == 0.0
+
+    def test_no_perfect_scaling_range(self):
+        c = FFTCosts()
+        n, M = 1024.0, 64.0
+        assert c.p_min(n, M) == c.p_max_perfect(n, M)
+
+    def test_naive_fewer_words_more_messages_than_tree(self):
+        n, p = 4096.0, 16.0
+        naive = FFTCosts(all_to_all="naive")
+        tree = FFTCosts(all_to_all="tree")
+        assert naive.words(n, p) < tree.words(n, p)
+        assert naive.messages(n, p) > tree.messages(n, p)
+
+
+class TestValidateMemory:
+    def test_accepts_interior(self):
+        c = ClassicalMatMulCosts()
+        validate_memory(c, 1000.0, 64.0, 2 * 1000**2 / 64)
+
+    def test_accepts_endpoints(self):
+        c = ClassicalMatMulCosts()
+        validate_memory(c, 1000.0, 64.0, c.memory_min(1000.0, 64.0))
+        validate_memory(c, 1000.0, 64.0, c.memory_max(1000.0, 64.0))
+
+    def test_rejects_below(self):
+        c = ClassicalMatMulCosts()
+        with pytest.raises(MemoryRangeError):
+            validate_memory(c, 1000.0, 64.0, 1000**2 / 64 * 0.5)
+
+    def test_rejects_above(self):
+        c = ClassicalMatMulCosts()
+        with pytest.raises(MemoryRangeError):
+            validate_memory(c, 1000.0, 64.0, c.memory_max(1000.0, 64.0) * 2)

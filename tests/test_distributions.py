@@ -1,0 +1,132 @@
+"""Tests for data layouts: block ranges, cyclic slices, Morton order."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.distributions import (
+    assemble_block_2d,
+    block_1d,
+    block_2d,
+    block_ranges,
+    cyclic_merge,
+    cyclic_slice,
+    from_morton,
+    to_morton,
+)
+from repro.exceptions import ParameterError
+
+
+class TestBlockRanges:
+    def test_even_split(self):
+        assert block_ranges(12, 4) == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_uneven_split_front_loaded(self):
+        assert block_ranges(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_more_ranks_than_items(self):
+        rngs = block_ranges(2, 4)
+        assert rngs == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=32))
+    def test_partition_property(self, n, p):
+        rngs = block_ranges(n, p)
+        assert len(rngs) == p
+        assert rngs[0][0] == 0 and rngs[-1][1] == n
+        for (a0, a1), (b0, b1) in zip(rngs, rngs[1:]):
+            assert a1 == b0  # contiguous, disjoint
+        sizes = [hi - lo for lo, hi in rngs]
+        assert max(sizes) - min(sizes) <= 1  # balanced
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            block_ranges(5, 0)
+
+
+class TestBlock1D2D:
+    def test_block_1d(self, rng):
+        x = rng.standard_normal((10, 3))
+        parts = [block_1d(x, r, 3) for r in range(3)]
+        assert np.allclose(np.vstack(parts), x)
+
+    def test_block_1d_is_copy(self, rng):
+        x = rng.standard_normal((6, 2))
+        b = block_1d(x, 0, 2)
+        b[0, 0] = 1e9
+        assert x[0, 0] != 1e9
+
+    def test_block_2d_tiles(self, rng):
+        a = rng.standard_normal((6, 6))
+        tiles = [[block_2d(a, i, j, 2, 3) for j in range(3)] for i in range(2)]
+        assert np.allclose(assemble_block_2d(tiles), a)
+
+    def test_block_2d_uneven_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            block_2d(rng.standard_normal((5, 5)), 0, 0, 2, 2)
+
+
+class TestCyclic:
+    def test_slice_contents(self):
+        flat = np.arange(12)
+        assert np.array_equal(cyclic_slice(flat, 1, 3), [1, 4, 7, 10])
+
+    def test_roundtrip(self, rng):
+        flat = rng.standard_normal(24)
+        parts = [cyclic_slice(flat, r, 4) for r in range(4)]
+        assert np.allclose(cyclic_merge(parts, 24), flat)
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, p, extra):
+        flat = np.arange(p * 4 + (extra % p))
+        parts = [cyclic_slice(flat, r, p) for r in range(p)]
+        assert np.array_equal(cyclic_merge(parts, flat.size), flat)
+
+    def test_bad_rank(self):
+        with pytest.raises(ParameterError):
+            cyclic_slice(np.arange(4), 5, 4)
+
+
+class TestMorton:
+    def test_depth0_is_ravel(self, rng):
+        a = rng.standard_normal((3, 3))
+        assert np.allclose(to_morton(a, 0), a.ravel())
+
+    def test_depth1_quadrant_order(self):
+        a = np.array([[1, 2], [3, 4]])
+        assert np.array_equal(to_morton(a, 1), [1, 2, 3, 4])
+        a = np.arange(16).reshape(4, 4)
+        m = to_morton(a, 1)
+        # First quadrant (rows 0-1, cols 0-1) occupies the first 4 slots.
+        assert np.array_equal(m[:4], [0, 1, 4, 5])
+
+    def test_quadrants_contiguous_at_depth(self, rng):
+        n, depth = 8, 2
+        a = rng.standard_normal((n, n))
+        m = to_morton(a, depth)
+        q = m.size // 4
+        assert np.allclose(from_morton(m[:q], n // 2, depth - 1), a[:4, :4])
+        assert np.allclose(from_morton(m[3 * q :], n // 2, depth - 1), a[4:, 4:])
+
+    @given(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, depth, scale):
+        n = (2**depth) * scale
+        a = np.arange(n * n, dtype=float).reshape(n, n)
+        assert np.allclose(from_morton(to_morton(a, depth), n, depth), a)
+
+    def test_odd_order_rejected_at_depth(self):
+        with pytest.raises(ParameterError):
+            to_morton(np.zeros((6, 6)), 2)  # 6/2=3 odd at depth 2
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ParameterError):
+            to_morton(np.zeros((4, 6)), 1)
+
+    def test_from_morton_length_check(self):
+        with pytest.raises(ParameterError):
+            from_morton(np.zeros(10), 4, 1)

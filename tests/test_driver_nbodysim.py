@@ -1,0 +1,215 @@
+"""Tests for the matmul driver (the paper's prescription as code) and
+the n-body time-integration loop."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.driver import (
+    choose_replication,
+    matmul,
+    replication_speedup_model,
+)
+from repro.algorithms.nbody import GRAVITY, nbody_serial
+from repro.algorithms.nbody_sim import simulate_replicated, simulate_serial
+from repro.exceptions import ParameterError, RankFailedError
+from repro.simmpi.engine import run_spmd
+
+
+class TestChooseReplication:
+    def test_unbounded_memory_hits_3d_limit(self):
+        # p = 8 = 2^2 * 2 with q = 2, c = 2 = p^(1/3).
+        assert choose_replication(n=24, p=8, memory_words=1e12) == 2
+
+    def test_p27_goes_3d(self):
+        assert choose_replication(n=27, p=27, memory_words=1e12) == 3
+
+    def test_memory_gates_layout(self):
+        """Tight memory forces the finer grid (larger q, c = 1)."""
+        n = 64
+        # c=4 needs q=4 -> tiles 16x16 -> 3*256 = 768 words;
+        # c=1 needs q=8 -> tiles 8x8 -> 3*64 = 192 words.
+        assert (
+            choose_replication(n, 64, memory_words=1000,
+                               objective="max_replication")
+            == 4
+        )
+        assert (
+            choose_replication(n, 64, memory_words=500,
+                               objective="max_replication")
+            == 1
+        )
+
+    def test_min_words_objective_avoids_3d_corner(self):
+        """At a fixed p the replication collectives' constants can beat
+        the sqrt(c) saving: min_words declines the 3D corner that
+        max_replication takes."""
+        n = 64
+        assert choose_replication(n, 64, 1e12, objective="min_words") == 1
+        assert choose_replication(n, 64, 1e12, objective="max_replication") == 4
+
+    def test_min_words_prefers_replication_when_rounds_amortize(self):
+        """With q/c large the Cannon rounds dominate and replication wins
+        under min_words too."""
+        n = 144
+        # p = 288 = 12^2 * 2: c=2, q=12, q/c=6 -> 2*12/2+3.5 = 15.5 tiles
+        # of (n/12)^2 vs ... c=1 inadmissible (288 not square), so use a
+        # p with both options: p = 576 = 24^2 (c=1) = 12^2*4 (c=4).
+        c = choose_replication(n, 576, 1e12, objective="min_words")
+        # c=1: q=24, 2*24 = 48 tiles of (n/24)^2 = 36 -> 1728 words
+        # c=4: q=12, 2*3+3.5 = 9.5 tiles of (n/12)^2 = 144 -> 1368 words
+        assert c == 4
+
+    def test_bad_objective(self):
+        with pytest.raises(ParameterError):
+            choose_replication(8, 4, 100, objective="vibes")
+
+    def test_square_p_always_has_c1(self):
+        assert choose_replication(n=60, p=4, memory_words=1e12) >= 1
+
+    def test_impossible_layout(self):
+        with pytest.raises(ParameterError):
+            choose_replication(n=24, p=5, memory_words=1e12)
+
+    def test_memory_too_small(self):
+        with pytest.raises(ParameterError):
+            choose_replication(n=64, p=4, memory_words=10)
+
+    def test_speedup_model(self):
+        s = replication_speedup_model(n=64, p=64, memory_words=1e12)
+        assert s == pytest.approx(2.0)  # c = 4 -> sqrt(4)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            choose_replication(0, 4, 100)
+        with pytest.raises(ParameterError):
+            choose_replication(8, 4, 0)
+
+
+class TestMatmulDriver:
+    @pytest.mark.parametrize("p", [1, 4, 8, 16, 27])
+    def test_correct_everywhere(self, p, rng):
+        n = 24 if p != 27 else 27
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        out = run_spmd(p, matmul, a, b)
+        for got in out.results:
+            assert np.allclose(got, a @ b)
+
+    def test_fast_route_uses_caps(self, rng):
+        n = 14
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        out = run_spmd(7, matmul, a, b, 1e12, True)
+        for got in out.results:
+            assert np.allclose(got, a @ b)
+        # CAPS fingerprint: fewer multiply flops than classical 2 n^3
+        # (Strassen base savings) plus the gather traffic.
+        assert out.report.total_flops < 2.1 * n**3
+
+    def test_p16_only_c1_admissible(self, rng):
+        # p=16: c=2 -> p/c=8 not square; c=4 -> q=2 < c. Only c=1 fits.
+        assert choose_replication(48, 16, 1e12) == 1
+        assert choose_replication(48, 16, 1e12, objective="max_replication") == 1
+
+    def test_single_rank(self, rng):
+        a = rng.standard_normal((5, 5))
+        out = run_spmd(1, matmul, a, a)
+        assert np.allclose(out.results[0], a @ a)
+
+    def test_shape_validation(self):
+        with pytest.raises(RankFailedError):
+            run_spmd(4, matmul, np.zeros((4, 4)), np.zeros((6, 6)))
+
+
+def total_energy(pos, vel, masses, eps=1e-12):
+    """Kinetic + softened gravitational potential (matches GRAVITY)."""
+    ke = 0.5 * float(np.sum(masses[:, None] * vel**2))
+    diff = pos[None, :, :] - pos[:, None, :]
+    dist = np.sqrt(np.sum(diff * diff, axis=2) + eps)
+    iu = np.triu_indices(len(pos), k=1)
+    pe = -float(np.sum(masses[iu[0]] * masses[iu[1]] / dist[iu]))
+    return ke + pe
+
+
+@pytest.fixture
+def system(rng):
+    n = 24
+    pos = rng.standard_normal((n, 3)) * 2.0
+    vel = rng.standard_normal((n, 3)) * 0.05
+    masses = rng.uniform(0.5, 1.5, n)
+    return pos, vel, masses
+
+
+class TestSerialSimulation:
+    def test_runs_and_moves(self, system):
+        pos, vel, masses = system
+        res = simulate_serial(pos, vel, masses, dt=1e-3, steps=10)
+        assert res.positions.shape == pos.shape
+        assert not np.allclose(res.positions, pos)
+
+    def test_energy_drift_bounded(self, system):
+        """Velocity-Verlet is symplectic: physical energy drift over a
+        short run stays small."""
+        pos, vel, masses = system
+        e0 = total_energy(pos, vel, masses)
+        res = simulate_serial(pos, vel, masses, dt=5e-4, steps=50)
+        e1 = total_energy(res.positions, res.velocities, masses)
+        assert abs(e1 - e0) / abs(e0) < 0.05
+
+    def test_momentum_conserved(self, system):
+        pos, vel, masses = system
+        p0 = (masses[:, None] * vel).sum(axis=0)
+        res = simulate_serial(pos, vel, masses, dt=1e-3, steps=20)
+        p1 = (masses[:, None] * res.velocities).sum(axis=0)
+        assert np.allclose(p0, p1, atol=1e-9)
+
+    def test_validation(self, system):
+        pos, vel, masses = system
+        with pytest.raises(ParameterError):
+            simulate_serial(pos, vel, masses, dt=0, steps=5)
+        with pytest.raises(ParameterError):
+            simulate_serial(pos, vel, masses, dt=1e-3, steps=0)
+        with pytest.raises(ParameterError):
+            simulate_serial(pos, vel[:3], masses, dt=1e-3, steps=1)
+
+
+class TestParallelSimulation:
+    @pytest.mark.parametrize("p,c", [(4, 1), (4, 2), (8, 2), (16, 4)])
+    def test_matches_serial_trajectory(self, p, c, system):
+        pos, vel, masses = system
+        ref = simulate_serial(pos, vel, masses, dt=1e-3, steps=5)
+        out = run_spmd(p, simulate_replicated, pos, vel, masses, 1e-3, 5, c)
+        leaders = [res for res in out.results if res is not None]
+        assert len(leaders) == p // c
+        for res in leaders:
+            assert np.allclose(res.positions, ref.positions, atol=1e-10)
+            assert np.allclose(res.velocities, ref.velocities, atol=1e-10)
+
+    def test_communication_scales_with_steps(self, system):
+        pos, vel, masses = system
+        w1 = run_spmd(
+            4, simulate_replicated, pos, vel, masses, 1e-3, 2, 2
+        ).report.max_words
+        w3 = run_spmd(
+            4, simulate_replicated, pos, vel, masses, 1e-3, 6, 2
+        ).report.max_words
+        # Forces are evaluated steps+1 times; traffic ~ proportional.
+        assert 2.0 < w3 / w1 < 3.5
+
+    def test_replication_cuts_per_step_traffic(self, rng):
+        n = 48
+        pos = rng.standard_normal((n, 3))
+        vel = rng.standard_normal((n, 3)) * 0.01
+        masses = np.ones(n)
+        w_c1 = run_spmd(
+            4, simulate_replicated, pos, vel, masses, 1e-3, 3, 1
+        ).report.max_words
+        w_c4 = run_spmd(
+            16, simulate_replicated, pos, vel, masses, 1e-3, 3, 4
+        ).report.max_words
+        assert w_c4 < w_c1
+
+    def test_bad_team_split(self, system):
+        pos, vel, masses = system
+        with pytest.raises(RankFailedError):
+            run_spmd(8, simulate_replicated, pos, vel, masses, 1e-3, 2, 4)

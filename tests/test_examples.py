@@ -1,0 +1,72 @@
+"""Smoke tests: every example script must run end to end.
+
+Each example's ``main()`` is imported and executed with captured stdout;
+the assertions check for the landmark lines so a silently broken example
+cannot pass.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "[1] Minimum energy" in out
+        assert "[5]" in out
+        assert "Perfect strong scaling, measured" in out
+
+    def test_matmul_strong_scaling(self, capsys):
+        out = run_example("matmul_strong_scaling.py", capsys)
+        assert "Fig. 3" in out
+        assert "Measured 2.5D runs" in out
+
+    def test_nbody_energy_frontier(self, capsys):
+        out = run_example("nbody_energy_frontier.py", capsys)
+        assert "M0" in out
+        assert "Race to halt" in out
+
+    def test_codesign_scan(self, capsys):
+        out = run_example("codesign_scan.py", capsys)
+        assert "Table II" in out
+        assert "75 GFLOPS/W is reached after" in out
+        assert "Co-design deltas" in out
+
+    def test_strassen_caps_demo(self, capsys):
+        out = run_example("strassen_caps_demo.py", capsys)
+        assert "Sequential Strassen" in out
+        assert "Parallel CAPS" in out
+
+    def test_fft_lu_limits(self, capsys):
+        out = run_example("fft_lu_limits.py", capsys)
+        assert "naive all-to-all" in out
+        assert "2.5D LU cost model" in out
+
+    def test_heterogeneous_pool(self, capsys):
+        out = run_example("heterogeneous_pool.py", capsys)
+        assert "race-to-halt" in out
+        assert "critical path" in out
+
+    def test_nbody_simulation(self, capsys):
+        out = run_example("nbody_simulation.py", capsys)
+        assert "cold collapse" in out
+        assert "symplectic" in out
+        assert "NO" not in out  # every parallel run matched the reference

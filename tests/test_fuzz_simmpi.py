@@ -1,0 +1,160 @@
+"""Property-based fuzzing of the SPMD substrate.
+
+Hypothesis generates random (but well-formed) communication schedules —
+mixed collectives, random payload sizes, random pairings — and the
+tests assert the substrate's global invariants: conservation of words
+and messages, deterministic counts across repeated runs, and clock
+monotonicity under the virtual-time model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import MachineParameters
+from repro.simmpi.engine import run_spmd
+
+MACHINE = MachineParameters(
+    gamma_t=1e-9, beta_t=1e-8, alpha_t=1e-6,
+    gamma_e=1e-9, beta_e=1e-8, alpha_e=0.0,
+    delta_e=1e-9, epsilon_e=0.0,
+    memory_words=1e9, max_message_words=64.0,
+)
+
+# A schedule is a list of (op, size) steps executed by every rank.
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["bcast", "reduce", "allreduce", "allgather", "alltoall",
+             "barrier", "shift", "gather", "scatter"]
+        ),
+        st.integers(min_value=1, max_value=40),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def run_schedule(comm, schedule):
+    total = 0.0
+    for i, (op, size) in enumerate(schedule):
+        data = np.full(size, float(comm.rank + i))
+        if op == "bcast":
+            got = comm.bcast(data if comm.rank == i % comm.size else None,
+                             root=i % comm.size)
+            total += float(got.sum())
+        elif op == "reduce":
+            got = comm.reduce(data, root=i % comm.size)
+            total += float(got.sum()) if got is not None else 0.0
+        elif op == "allreduce":
+            total += float(comm.allreduce(data).sum())
+        elif op == "allgather":
+            total += sum(float(x.sum()) for x in comm.allgather(data))
+        elif op == "alltoall":
+            blocks = [np.full(size, float(d)) for d in range(comm.size)]
+            total += sum(float(x.sum()) for x in comm.alltoall(blocks))
+        elif op == "barrier":
+            comm.barrier()
+        elif op == "shift":
+            total += float(comm.shift(data, 1, tag=("fz", i)).sum())
+        elif op == "gather":
+            got = comm.gather(data, root=i % comm.size)
+            total += sum(float(x.sum()) for x in got) if got else 0.0
+        elif op == "scatter":
+            objs = (
+                [np.full(size, float(r)) for r in range(comm.size)]
+                if comm.rank == i % comm.size
+                else None
+            )
+            total += float(comm.scatter(objs, root=i % comm.size).sum())
+    return total
+
+
+class TestScheduleFuzz:
+    @given(st.integers(min_value=1, max_value=6), op_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_conservation_and_agreement(self, p, schedule):
+        out = run_spmd(p, run_schedule, schedule)
+        # Invariant 1: every sent word/message was received.
+        assert out.report.words_conserved()
+        # Invariant 2: SPMD-symmetric collectives give every rank the
+        # same value for the symmetric ops; at minimum, all results are
+        # finite numbers.
+        assert all(np.isfinite(v) for v in out.results)
+
+    @given(st.integers(min_value=2, max_value=5), op_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_counts_deterministic(self, p, schedule):
+        a = run_spmd(p, run_schedule, schedule).report
+        b = run_spmd(p, run_schedule, schedule).report
+        for ra, rb in zip(a.ranks, b.ranks):
+            assert ra.words_sent == rb.words_sent
+            assert ra.messages_sent == rb.messages_sent
+            assert ra.flops == rb.flops
+
+    @given(st.integers(min_value=2, max_value=5), op_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_virtual_clocks_nonnegative_and_consistent(self, p, schedule):
+        out = run_spmd(p, run_schedule, schedule, machine=MACHINE)
+        assert all(r.vtime >= 0.0 for r in out.report.ranks)
+        # Critical path can never undercut any single rank's own work.
+        own = [
+            MACHINE.beta_t * r.words_sent + MACHINE.alpha_t * r.messages_sent
+            for r in out.report.ranks
+        ]
+        assert out.report.simulated_time >= max(own) * (1 - 1e-12)
+
+    @given(
+        st.integers(min_value=2, max_value=5),
+        op_strategy,
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_message_size_rule(self, p, schedule, m):
+        """ceil(W/m) messages: shrinking m never decreases S, never
+        changes W."""
+        big = run_spmd(p, run_schedule, schedule, max_message_words=1e9).report
+        small = run_spmd(p, run_schedule, schedule, max_message_words=m).report
+        assert small.total_words == big.total_words
+        assert small.total_messages >= big.total_messages
+
+
+class TestCollectiveValueAgreement:
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_allreduce_matches_numpy(self, p, size, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((p, size))
+
+        def prog(comm):
+            return comm.allreduce(data[comm.rank].copy())
+
+        out = run_spmd(p, prog)
+        expected = data.sum(axis=0)
+        for got in out.results:
+            assert np.allclose(got, expected)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_alltoall_transpose_property(self, p, seed):
+        """alltoall twice with swapped indexing is the identity."""
+        rng = np.random.default_rng(seed)
+        payload = rng.standard_normal((p, p, 3))
+
+        def prog(comm):
+            mine = [payload[comm.rank, d].copy() for d in range(comm.size)]
+            once = comm.alltoall(mine)
+            twice = comm.alltoall(once)
+            return all(
+                np.allclose(twice[d], payload[comm.rank, d]) for d in range(p)
+            )
+
+        assert all(run_spmd(p, prog).results)

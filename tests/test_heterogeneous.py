@@ -1,0 +1,165 @@
+"""Tests for the heterogeneous work-partitioning extension."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.core.heterogeneous import HeterogeneousMachine
+from repro.core.parameters import MachineParameters
+from repro.exceptions import InfeasibleError, ParameterError
+
+
+def proc(gamma_t, gamma_e, eps=0.0):
+    return MachineParameters(
+        gamma_t=gamma_t, beta_t=0.0, alpha_t=0.0,
+        gamma_e=gamma_e, beta_e=0.0, alpha_e=0.0,
+        delta_e=0.0, epsilon_e=eps,
+        memory_words=1e9, max_message_words=1e9,
+    )
+
+
+@pytest.fixture
+def pool():
+    """A GPU-ish fast/hot device, a mid CPU, and a slow/cool core."""
+    return HeterogeneousMachine(
+        processors=(
+            proc(gamma_t=1e-12, gamma_e=2e-10),  # fast, mid-efficiency
+            proc(gamma_t=5e-12, gamma_e=4e-10),  # mid, inefficient
+            proc(gamma_t=3e-10, gamma_e=1.5e-10),  # slow, most efficient
+        )
+    )
+
+
+F = 1e12
+
+
+class TestMakespan:
+    def test_partition_sums(self, pool):
+        a = pool.makespan_partition(F)
+        assert a.total_flops == pytest.approx(F)
+
+    def test_everyone_finishes_together(self, pool):
+        a = pool.makespan_partition(F)
+        finishes = [p.gamma_t * f for p, f in zip(pool.processors, a.flops)]
+        assert all(t == pytest.approx(a.time, rel=1e-12) for t in finishes)
+
+    def test_aggregate_rate(self, pool):
+        a = pool.makespan_partition(F)
+        agg = sum(1.0 / p.gamma_t for p in pool.processors)
+        assert a.time == pytest.approx(F / agg)
+
+    def test_faster_than_any_single_processor(self, pool):
+        a = pool.makespan_partition(F)
+        for p in pool.processors:
+            assert a.time < p.gamma_t * F
+
+    def test_invalid(self, pool):
+        with pytest.raises(ParameterError):
+            pool.makespan_partition(-1)
+
+
+class TestMinEnergy:
+    def test_unconstrained_picks_most_efficient(self, pool):
+        a = pool.min_energy(F)
+        assert a.flops[2] == F  # the 1.5e-10 J/flop core
+        assert a.energy == pytest.approx(1.5e-10 * F)
+
+    def test_leakage_changes_the_winner(self):
+        # A nominally efficient core with huge leakage loses.
+        pool = HeterogeneousMachine(
+            processors=(
+                proc(1e-12, 2e-10, eps=0.0),
+                proc(1e-9, 1e-10, eps=1e3),  # flop_energy = 1e-10 + 1e-6
+            )
+        )
+        a = pool.min_energy(F)
+        assert a.flops[0] == F
+
+    def test_deadline_infeasible(self, pool):
+        with pytest.raises(InfeasibleError):
+            pool.min_energy_partition(F, t_max=1e-12)
+
+    def test_loose_deadline_matches_unconstrained(self, pool):
+        slow = pool.min_energy(F)
+        a = pool.min_energy_partition(F, t_max=slow.time * 2)
+        assert a.energy == pytest.approx(slow.energy)
+
+    def test_deadline_respected(self, pool):
+        t_max = pool.min_time(F) * 1.5
+        a = pool.min_energy_partition(F, t_max)
+        assert a.time <= t_max * (1 + 1e-9)
+        assert a.total_flops == pytest.approx(F)
+
+    def test_greedy_matches_linprog(self, pool):
+        """The greedy fill must equal the LP optimum:
+        min sum e_i F_i  s.t.  0 <= F_i <= T/gamma_t_i, sum F_i = F."""
+        t_max = pool.min_time(F) * 2.0
+        a = pool.min_energy_partition(F, t_max)
+        # Rescale: raw J/flop coefficients (~1e-10) sit below HiGHS's
+        # optimality tolerances and would be treated as zero.
+        scale = 1e10
+        e = [p.flop_energy * scale for p in pool.processors]
+        caps = [t_max / p.gamma_t for p in pool.processors]
+        res = linprog(
+            c=e,
+            A_eq=[[1.0] * pool.count],
+            b_eq=[F],
+            bounds=[(0, c) for c in caps],
+            method="highs",
+        )
+        assert res.success
+        assert a.energy == pytest.approx(float(res.fun) / scale, rel=1e-9)
+
+    def test_tight_deadline_costs_more(self, pool):
+        cheap = pool.min_energy(F)
+        rushed = pool.min_energy_partition(F, pool.min_time(F) * 1.01)
+        assert rushed.energy > cheap.energy
+
+
+class TestFrontier:
+    def test_monotone_tradeoff(self, pool):
+        frontier = pool.energy_time_frontier(F, points=8)
+        times = [a.time for a in frontier]
+        energies = [a.energy for a in frontier]
+        # Deadlines sweep slow-ward; energy must be non-increasing.
+        assert all(b >= a * (1 - 1e-12) for a, b in zip(times, times[1:]))
+        assert all(b <= a * (1 + 1e-12) for a, b in zip(energies, energies[1:]))
+
+    def test_endpoints(self, pool):
+        frontier = pool.energy_time_frontier(F, points=6)
+        assert frontier[0].time == pytest.approx(pool.min_time(F), rel=1e-6)
+        assert frontier[-1].energy == pytest.approx(
+            pool.min_energy(F).energy, rel=1e-6
+        )
+
+    def test_needs_two_points(self, pool):
+        with pytest.raises(ParameterError):
+            pool.energy_time_frontier(F, points=1)
+
+
+class TestConstruction:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ParameterError):
+            HeterogeneousMachine(processors=())
+
+    def test_table2_pool(self):
+        """Build a pool straight from Table II entries."""
+        from repro.machines.catalog import PROCESSOR_TABLE
+
+        def as_machine(spec):
+            return MachineParameters(
+                gamma_t=spec.gamma_t, beta_t=0.0, alpha_t=0.0,
+                gamma_e=spec.gamma_e, beta_e=0.0, alpha_e=0.0,
+                delta_e=0.0, epsilon_e=0.0,
+                memory_words=1e9, max_message_words=1e9,
+            )
+
+        pool = HeterogeneousMachine(
+            processors=tuple(as_machine(s) for s in PROCESSOR_TABLE[:4])
+        )
+        a = pool.makespan_partition(1e12)
+        assert a.total_flops == pytest.approx(1e12)
+        # The Sandy Bridge (fastest of the four) takes the largest share.
+        assert np.argmax(a.flops) == np.argmin(
+            [p.gamma_t for p in pool.processors]
+        )

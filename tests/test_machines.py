@@ -1,0 +1,175 @@
+"""Regression tests: our derivations must reproduce the paper's printed
+Table I / Table II values and the Section VI scaling narrative."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InfeasibleError, ParameterError
+from repro.machines.casestudy import (
+    CASE_STUDY_N,
+    CASE_STUDY_P,
+    crossover_generation_table,
+    efficiency_saturation_limit,
+    generations_to_target,
+    matmul_gflops_per_watt,
+    scale_parameters_independently,
+    scale_parameters_jointly,
+)
+from repro.machines.catalog import (
+    JAKETOWN,
+    JAKETOWN_SPEC,
+    PROCESSOR_TABLE,
+    derive_beta_e,
+    derive_beta_t,
+    derive_delta_e,
+    derive_gamma_e,
+    derive_gamma_t,
+    derive_peak_gflops,
+    jaketown_machine,
+)
+
+
+class TestTableII:
+    def test_eleven_rows(self):
+        assert len(PROCESSOR_TABLE) == 11
+
+    @pytest.mark.parametrize("spec", PROCESSOR_TABLE, ids=lambda s: s.name)
+    def test_peak_matches_printed(self, spec):
+        assert spec.peak_gflops == pytest.approx(spec.printed_peak_gflops, rel=1e-3)
+
+    @pytest.mark.parametrize("spec", PROCESSOR_TABLE, ids=lambda s: s.name)
+    def test_gamma_t_matches_printed(self, spec):
+        # The paper prints 3 significant digits.
+        assert spec.gamma_t == pytest.approx(spec.printed_gamma_t, rel=5e-3)
+
+    @pytest.mark.parametrize("spec", PROCESSOR_TABLE, ids=lambda s: s.name)
+    def test_gamma_e_matches_printed(self, spec):
+        assert spec.gamma_e == pytest.approx(spec.printed_gamma_e, rel=5e-3)
+
+    @pytest.mark.parametrize("spec", PROCESSOR_TABLE, ids=lambda s: s.name)
+    def test_gflops_per_watt_matches_printed(self, spec):
+        assert spec.gflops_per_watt == pytest.approx(
+            spec.printed_gflops_per_watt, rel=2e-3
+        )
+
+    def test_section_vii_observation_none_reach_10(self):
+        assert all(s.gflops_per_watt < 10.0 for s in PROCESSOR_TABLE)
+
+    def test_gamma_identities(self):
+        for s in PROCESSOR_TABLE:
+            assert s.gamma_e == pytest.approx(s.gamma_t * s.tdp_watts, rel=1e-12)
+            assert s.gflops_per_watt == pytest.approx(1e-9 / s.gamma_e, rel=1e-12)
+
+
+class TestTableIDerivations:
+    def test_gamma_t(self):
+        assert derive_gamma_t(396.8) == pytest.approx(2.5202e-12, rel=1e-4)
+
+    def test_gamma_e(self):
+        assert derive_gamma_e(150.0, 396.8) == pytest.approx(3.78024e-10, rel=1e-4)
+
+    def test_peak(self):
+        assert derive_peak_gflops(3.1, 8, 8) == pytest.approx(396.8)
+
+    def test_beta_t(self):
+        assert derive_beta_t(4, 25.6) == pytest.approx(1.5625e-10)
+        # Table I prints 1.56e-10.
+        assert derive_beta_t(4, 25.6) == pytest.approx(JAKETOWN.beta_t, rel=5e-3)
+
+    def test_beta_e_stated_rule(self):
+        # The stated derivation gives 3.36e-10, NOT the printed 3.78e-10;
+        # the discrepancy is documented, both values are checked.
+        derived = derive_beta_e(1.5625e-10, 2.15)
+        assert derived == pytest.approx(3.359e-10, rel=1e-3)
+        assert JAKETOWN.beta_e == pytest.approx(3.78024e-10)
+
+    def test_delta_e(self):
+        # 8 DIMMs x 3.1 W over 2^32 words reproduces the printed value.
+        assert derive_delta_e(8, 3.1, 2.0**32) == pytest.approx(5.7742e-9, rel=1e-4)
+
+    def test_derivation_validation(self):
+        with pytest.raises(ParameterError):
+            derive_gamma_t(0.0)
+        with pytest.raises(ParameterError):
+            derive_beta_t(0, 25.6)
+        with pytest.raises(ParameterError):
+            derive_delta_e(0, 3.1, 100)
+
+    def test_jaketown_machine_override(self):
+        m = jaketown_machine(epsilon_e=1.0)
+        assert m.epsilon_e == 1.0
+        assert m.gamma_t == JAKETOWN.gamma_t
+
+    def test_spec_roundtrip(self):
+        assert JAKETOWN_SPEC["peak_fp_gflops"] == pytest.approx(
+            derive_peak_gflops(
+                JAKETOWN_SPEC["core_freq_ghz"],
+                int(JAKETOWN_SPEC["cores_per_node"]),
+                int(JAKETOWN_SPEC["simd_single"]),
+            )
+        )
+
+
+class TestCaseStudy:
+    def test_constants(self):
+        assert CASE_STUDY_N == 35000
+        assert CASE_STUDY_P == 2
+
+    def test_beta_e_scaling_has_no_effect(self):
+        """Fig. 6: halving beta_e is invisible at M = 2^34."""
+        series = scale_parameters_independently(6)["beta_e"]
+        assert series[-1] / series[0] < 1.001
+
+    def test_gamma_e_scaling_saturates(self):
+        """Fig. 6: gamma_e's benefit levels off after ~5 generations."""
+        series = scale_parameters_independently(10)["gamma_e"]
+        early_gain = series[2] / series[0]
+        late_gain = series[10] / series[8]
+        assert early_gain > 1.3
+        assert late_gain < 1.05
+        sat = efficiency_saturation_limit("gamma_e")
+        assert series[-1] < sat <= series[-1] * 1.05
+
+    def test_joint_scaling_doubles_each_generation(self):
+        """Fig. 7: with alpha_e = eps_e = 0 every energy term halves."""
+        series = scale_parameters_jointly(6)
+        for a, b in zip(series, series[1:]):
+            assert b / a == pytest.approx(2.0, rel=1e-9)
+
+    def test_75_gflops_reached_around_five_generations(self):
+        """The paper: 'we obtain a desired efficiency of 75 GFLOPS/W
+        after 5 generations if we are able to improve all three
+        parameters together.'"""
+        g = generations_to_target(75.0)
+        assert 4.0 < g < 7.0
+
+    def test_target_already_met(self):
+        assert generations_to_target(0.1) == 0.0
+
+    def test_unreachable_target(self):
+        # Scaling only energy parameters cannot beat 1/(time-side) limits
+        # forever... it actually can here (all terms carry a scaled
+        # parameter), so emulate a floor with eps_e > 0 unscaled:
+        leaky = JAKETOWN.replace(epsilon_e=1.0)
+        with pytest.raises(InfeasibleError):
+            generations_to_target(1e12, machine=leaky, max_generations=10)
+
+    def test_saturation_validation(self):
+        with pytest.raises(ParameterError):
+            efficiency_saturation_limit("gamma_t")
+
+    def test_crossover_bundle(self):
+        bundle = crossover_generation_table(generations=6)
+        assert set(bundle["independent"].keys()) == {"gamma_e", "beta_e", "delta_e"}
+        assert len(bundle["joint"]) == 7
+        assert bundle["generations_to_target"] > 0
+
+    def test_gflops_per_watt_model(self):
+        eff = matmul_gflops_per_watt(JAKETOWN)
+        # Below the gamma_e-only bound 2.645 (other terms add energy).
+        assert 0.5 < eff < 2.645
+
+    def test_invalid_n(self):
+        with pytest.raises(ParameterError):
+            matmul_gflops_per_watt(JAKETOWN, n=0)

@@ -1,0 +1,201 @@
+"""Tests for the classical matmul family: SUMMA, Cannon, 2.5D/3D.
+
+Each algorithm is checked for exact correctness against NumPy on several
+grid shapes, for its metered flop count (exactly 2 n^3 total), and for
+the communication shape the paper assigns it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.cannon import cannon_matmul
+from repro.algorithms.matmul25d import grid_for_25d, matmul_25d, matmul_3d
+from repro.algorithms.summa import square_grid_side, summa_matmul
+from repro.exceptions import ParameterError, RankFailedError
+from repro.simmpi.engine import run_spmd
+
+
+def assemble_2d(results, p):
+    q = int(p**0.5)
+    return np.block([[results[i * q + j] for j in range(q)] for i in range(q)])
+
+
+def assemble_25d(results, p, c):
+    q = int((p // c) ** 0.5)
+    return np.block(
+        [[results[(i * q + j) * c] for j in range(q)] for i in range(q)]
+    )
+
+
+class TestGridHelpers:
+    def test_square_grid_side(self):
+        assert square_grid_side(16) == 4
+
+    def test_square_grid_side_rejects(self):
+        with pytest.raises(ParameterError):
+            square_grid_side(8)
+
+    def test_grid_for_25d_valid(self):
+        assert grid_for_25d(16, 1) == 4
+        assert grid_for_25d(8, 2) == 2
+        assert grid_for_25d(27, 3) == 3
+        assert grid_for_25d(32, 2) == 4
+
+    def test_grid_for_25d_c_doesnt_divide(self):
+        with pytest.raises(ParameterError):
+            grid_for_25d(15, 2)
+
+    def test_grid_for_25d_not_square(self):
+        with pytest.raises(ParameterError):
+            grid_for_25d(24, 2)  # 12 not a perfect square
+
+    def test_grid_for_25d_beyond_3d_limit(self):
+        with pytest.raises(ParameterError):
+            grid_for_25d(4, 4)  # c=4 > p^(1/3)
+
+    def test_grid_for_25d_layer_imbalance(self):
+        # p=36, c=3: q=sqrt(12) not integer -> rejected before q%c check
+        with pytest.raises(ParameterError):
+            grid_for_25d(36, 3)
+
+
+@pytest.mark.parametrize("algo", [summa_matmul, cannon_matmul])
+class Test2DAlgorithms:
+    @pytest.mark.parametrize("p", [1, 4, 9, 16])
+    def test_correct(self, algo, p, rng):
+        n = 24
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        out = run_spmd(p, algo, a, b)
+        assert np.allclose(assemble_2d(out.results, p), a @ b)
+
+    def test_flop_count_exact(self, algo, rng):
+        n, p = 16, 4
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        out = run_spmd(p, algo, a, b)
+        assert out.report.total_flops == pytest.approx(2.0 * n**3)
+
+    def test_nonsquare_p_rejected(self, algo, rng):
+        a = rng.standard_normal((8, 8))
+        with pytest.raises(RankFailedError):
+            run_spmd(8, algo, a, a)
+
+    def test_indivisible_n_rejected(self, algo, rng):
+        a = rng.standard_normal((7, 7))
+        with pytest.raises(RankFailedError):
+            run_spmd(4, algo, a, a)
+
+    def test_mismatched_operands_rejected(self, algo, rng):
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((12, 12))
+        with pytest.raises(RankFailedError):
+            run_spmd(4, algo, a, b)
+
+    def test_words_conserved(self, algo, rng):
+        a = rng.standard_normal((12, 12))
+        out = run_spmd(4, algo, a, a)
+        assert out.report.words_conserved()
+
+
+class TestCommunicationShape2D:
+    def test_cannon_message_count(self, rng):
+        """Cannon: per-rank messages = skews + 2(q-1) shift rounds."""
+        n, p = 24, 9
+        a = rng.standard_normal((n, n))
+        out = run_spmd(p, cannon_matmul, a, a)
+        q = 3
+        # Worst rank: 2 skew sendrecvs + 2 shifts per inner round x (q-1).
+        assert out.report.max_messages == 2 + 2 * (q - 1)
+
+    def test_cannon_words_scale_with_tile(self, rng):
+        n = 24
+        a = rng.standard_normal((n, n))
+        w4 = run_spmd(4, cannon_matmul, a, a).report.max_words
+        w9 = run_spmd(9, cannon_matmul, a, a).report.max_words
+        # W per rank ~ q * (n/q)^2 = n^2/q: decreasing with p.
+        assert w9 < w4
+
+    def test_summa_total_words_quadratic_in_grid(self, rng):
+        """SUMMA total traffic grows ~ sqrt(p) n^2 — the 2D law."""
+        n = 24
+        a = rng.standard_normal((n, n))
+        t4 = run_spmd(4, summa_matmul, a, a).report.total_words
+        t16 = run_spmd(16, summa_matmul, a, a).report.total_words
+        # Binomial-tree SUMMA totals 2 n^2 (q-1) words: ratio (4-1)/(2-1) = 3.
+        assert t16 / t4 == pytest.approx(3.0)
+
+
+class Test25D:
+    @pytest.mark.parametrize("p,c", [(4, 1), (8, 2), (16, 1), (27, 3), (32, 2)])
+    def test_correct(self, p, c, rng):
+        n = 24
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        out = run_spmd(p, matmul_25d, a, b, c)
+        assert np.allclose(assemble_25d(out.results, p, c), a @ b)
+
+    def test_non_front_layers_return_none(self, rng):
+        a = np.eye(4)
+        out = run_spmd(8, matmul_25d, a, a, 2)
+        for r, res in enumerate(out.results):
+            if r % 2 == 0:
+                assert res is not None
+            else:
+                assert res is None
+
+    def test_c1_matches_cannon_traffic(self, rng):
+        """At c=1 the 2.5D algorithm degenerates to Cannon (alignment may
+        differ by self-shifts, so compare within a small margin)."""
+        n = 24
+        a = rng.standard_normal((n, n))
+        w_cannon = run_spmd(9, cannon_matmul, a, a).report.total_words
+        w_25d = run_spmd(9, matmul_25d, a, a, 1).report.total_words
+        assert abs(w_25d - w_cannon) <= 0.25 * w_cannon
+
+    def test_flop_count_exact(self, rng):
+        n, p, c = 16, 8, 2
+        a = rng.standard_normal((n, n))
+        out = run_spmd(p, matmul_25d, a, a, c)
+        assert out.report.total_flops == pytest.approx(2.0 * n**3)
+
+    def test_replication_reduces_shift_traffic(self, rng):
+        """Growing p by c with the tile size fixed must reduce per-rank
+        words (the strong-scaling mechanism)."""
+        n = 48
+        a = rng.standard_normal((n, n))
+        w1 = run_spmd(16, matmul_25d, a, a, 1).report.max_words
+        w4 = run_spmd(64, matmul_25d, a, a, 4).report.max_words
+        assert w4 < w1
+
+    def test_3d_wrapper(self, rng):
+        n = 12
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        out = run_spmd(8, matmul_3d, a, b)
+        got = assemble_25d(out.results, 8, 2)
+        assert np.allclose(got, a @ b)
+
+    def test_3d_needs_cube(self, rng):
+        a = np.eye(4)
+        with pytest.raises(RankFailedError):
+            run_spmd(12, matmul_3d, a, a)
+
+    def test_dtype_promotion(self):
+        a = np.eye(8, dtype=np.float32)
+        b = (2 * np.eye(8)).astype(np.float64)
+        out = run_spmd(4, matmul_25d, a, b, 1)
+        got = assemble_25d(out.results, 4, 1)
+        assert got.dtype == np.float64
+        assert np.allclose(got, 2 * np.eye(8))
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_identity_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 16
+        a = rng.standard_normal((n, n))
+        out = run_spmd(8, matmul_25d, a, np.eye(n), 2)
+        assert np.allclose(assemble_25d(out.results, 8, 2), a)

@@ -1,0 +1,82 @@
+"""Tests for the closed-form matmul optimal memory (tech-report result)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.costs import ClassicalMatMulCosts
+from repro.core.optimize_numeric import NumericOptimizer, matmul_optimal_memory
+from repro.exceptions import InfeasibleError
+from repro.machines.catalog import JAKETOWN
+
+from conftest import machine_strategy
+
+
+class TestMatmulOptimalMemory:
+    def test_matches_numeric_optimizer(self, machine):
+        closed = matmul_optimal_memory(machine)
+        num = NumericOptimizer(ClassicalMatMulCosts(), machine)
+        # Pick n large enough that the unconstrained optimum is interior.
+        n = max(1e4, 10 * closed**0.5)
+        run = num.min_energy(n)
+        if run.M < machine.memory_words * 0.99 and run.M < n * n * 0.99:
+            assert run.M == pytest.approx(closed, rel=1e-3)
+
+    def test_jaketown_value(self):
+        m = JAKETOWN.replace(max_message_words=2.0**20, epsilon_e=1e-2)
+        closed = matmul_optimal_memory(m)
+        assert 1e5 < closed < 1e8  # megaword-scale working sets
+
+    def test_stationarity(self, machine):
+        """e'(M*) = 0: small perturbations only increase energy/flop."""
+        M = matmul_optimal_memory(machine)
+        g = machine
+
+        def per_flop(M):
+            B = g.comm_energy_per_word
+            return (
+                B / M**0.5
+                + g.delta_e * g.gamma_t * M
+                + g.delta_e * (g.beta_t + g.alpha_t / g.max_message_words) * M**0.5
+            )
+
+        e0 = per_flop(M)
+        assert per_flop(M * 1.05) >= e0 * (1 - 1e-9)
+        assert per_flop(M * 0.95) >= e0 * (1 - 1e-9)
+
+    @given(machine_strategy())
+    @settings(max_examples=40)
+    def test_positive_root_property(self, m):
+        B = m.comm_energy_per_word
+        d_g = m.delta_e * m.gamma_t
+        d_b = m.delta_e * (m.beta_t + m.alpha_t / m.max_message_words)
+        if (d_g == 0 and d_b == 0) or B == 0:
+            return
+        M = matmul_optimal_memory(m)
+        assert M >= 1.0
+        if M == 1.0:
+            # Clamped: the unconstrained optimum sat below one word.
+            u = 1.0
+            assert 2 * d_g * u**3 + d_b * u**2 >= B * (1 - 1e-6)
+            return
+        # Root check: 2 d_g u^3 + d_b u^2 = B at u = sqrt(M).
+        u = M**0.5
+        assert 2 * d_g * u**3 + d_b * u**2 == pytest.approx(B, rel=1e-6)
+
+    def test_free_memory_infeasible(self, machine):
+        with pytest.raises(InfeasibleError):
+            matmul_optimal_memory(machine.replace(delta_e=0.0))
+
+    def test_free_communication_minimal_memory(self, machine):
+        free_comm = machine.replace(
+            beta_e=0.0, alpha_e=0.0, epsilon_e=0.0
+        )
+        assert matmul_optimal_memory(free_comm) == 1.0
+
+    def test_quadratic_branch(self, machine):
+        """gamma_t cannot be zero (validated), so exercise the d_g ~ 0
+        limit by comparison: shrinking gamma_t moves M* toward B/d_b."""
+        tiny = machine.replace(gamma_t=1e-30)
+        g = tiny
+        B = g.comm_energy_per_word
+        d_b = g.delta_e * (g.beta_t + g.alpha_t / g.max_message_words)
+        assert matmul_optimal_memory(tiny) == pytest.approx(B / d_b, rel=1e-3)

@@ -1,0 +1,134 @@
+"""Tests for the Section VII open-problem features: average-power
+minimization and the LU-latency environment study."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.optimize import NBodyOptimizer
+from repro.exceptions import ParameterError
+from repro.machines.catalog import JAKETOWN
+from repro.machines.presets import (
+    CLOUD,
+    CLUSTER,
+    EMBEDDED,
+    ENVIRONMENTS,
+    lu_latency_environment_study,
+)
+
+
+@pytest.fixture
+def opt(machine):
+    return NBodyOptimizer(machine, interaction_flops=10.0)
+
+
+class TestMinAveragePower:
+    def test_returns_feasible_run(self, opt):
+        n = 1e6
+        run = opt.min_average_power(n)
+        assert run.p >= 1.0
+        assert 0 < run.M <= min(n, opt.machine.memory_words)
+        # The run sits on the 1D (fewest-processors) boundary.
+        assert run.p == pytest.approx(max(1.0, n / run.M), rel=1e-9)
+
+    def test_beats_neighboring_memories(self, opt):
+        n = 1e6
+        run = opt.min_average_power(n)
+        best = run.average_power
+        for factor in (0.5, 0.8, 1.25, 2.0):
+            M = run.M * factor
+            if not 1.0 <= M <= min(n, opt.machine.memory_words):
+                continue
+            p = max(1.0, n / M)
+            other = opt.energy(n, M) / opt.time(n, p, M)
+            assert other >= best * (1 - 1e-6)
+
+    def test_power_below_fastest_run(self, opt):
+        """Minimum power is never above the power of the max-p run."""
+        n = 1e6
+        p_hi = opt.p_range_at_optimal_memory(n)[1]
+        fast = opt.min_runtime(n, p_hi)
+        slow = opt.min_average_power(n)
+        assert slow.average_power <= fast.average_power
+
+    def test_more_processors_more_power(self, opt):
+        """At the optimal M, adding processors increases power linearly —
+        the reason min-power runs sit at p = n/M."""
+        n = 1e6
+        run = opt.min_average_power(n)
+        double_p_power = opt.energy(n, run.M) / opt.time(n, run.p * 2, run.M)
+        assert double_p_power == pytest.approx(2 * run.average_power, rel=1e-9)
+
+    def test_invalid(self, opt):
+        with pytest.raises(ParameterError):
+            opt.min_average_power(0)
+
+    def test_jaketown_value_sane(self):
+        opt = NBodyOptimizer(
+            JAKETOWN.replace(max_message_words=2.0**20), interaction_flops=20.0
+        )
+        run = opt.min_average_power(1e6)
+        # One socket flat out draws ~150 W (gamma_e/gamma_t); min average
+        # power cannot exceed a single processor's busy draw by much.
+        assert run.average_power < 200.0
+
+
+class TestEnvironmentPresets:
+    def test_all_valid_machines(self):
+        for name, m in ENVIRONMENTS.items():
+            assert m.gamma_t > 0
+            assert m.memory_words > m.max_message_words
+
+    def test_latency_compute_ratio_ordering(self):
+        """The defining structure: cloud latency/compute ratio >> cluster
+        >> embedded."""
+        ratios = {
+            name: m.alpha_t / m.gamma_t for name, m in ENVIRONMENTS.items()
+        }
+        assert ratios["cloud"] > ratios["cluster"] > ratios["embedded"]
+
+    def test_embedded_is_slow_but_cool(self):
+        assert EMBEDDED.gamma_t > CLUSTER.gamma_t
+        assert EMBEDDED.gamma_e < CLUSTER.gamma_e
+
+
+class TestLULatencyStudy:
+    def test_three_environments(self):
+        rows = lu_latency_environment_study()
+        assert {r.environment for r in rows} == {"embedded", "cluster", "cloud"}
+
+    def test_cloud_crosses_over_first(self):
+        rows = {r.environment: r for r in lu_latency_environment_study()}
+        assert rows["cloud"].crossover_p < rows["cluster"].crossover_p
+        assert rows["cluster"].crossover_p < rows["embedded"].crossover_p
+
+    def test_crossover_is_half_latency(self):
+        from repro.machines.presets import _lu_latency_fraction
+
+        rows = lu_latency_environment_study(n=50_000.0, c=4.0)
+        for row in rows:
+            if math.isfinite(row.crossover_p):
+                frac = _lu_latency_fraction(
+                    ENVIRONMENTS[row.environment], 50_000.0, row.crossover_p, 4.0
+                )
+                assert frac == pytest.approx(0.5, abs=0.01)
+
+    def test_latency_fraction_ordering_at_reference(self):
+        rows = {r.environment: r for r in lu_latency_environment_study()}
+        assert (
+            rows["cloud"].latency_fraction_at_ref
+            > rows["cluster"].latency_fraction_at_ref
+            >= rows["embedded"].latency_fraction_at_ref
+        )
+
+    def test_lu_penalty_at_least_one(self):
+        # LU shares matmul's compute and bandwidth; its extra latency can
+        # only add time (modulo the ~1e-6 message-count model difference
+        # between S = W/m and S = sqrt(cp) at small p).
+        for row in lu_latency_environment_study():
+            assert row.lu_penalty_at_ref >= 1.0 - 1e-4
+
+    def test_invalid_c(self):
+        with pytest.raises(ParameterError):
+            lu_latency_environment_study(c=0.5)

@@ -1,0 +1,145 @@
+"""Tests for the numeric (matmul/Strassen) Section-V optimizer."""
+
+import math
+
+import pytest
+
+from repro.core.costs import ClassicalMatMulCosts, NBodyCosts, StrassenMatMulCosts
+from repro.core.optimize import NBodyOptimizer
+from repro.core.optimize_numeric import NumericOptimizer
+from repro.exceptions import InfeasibleError, ParameterError
+
+
+@pytest.fixture
+def num(machine):
+    return NumericOptimizer(ClassicalMatMulCosts(), machine)
+
+
+@pytest.fixture
+def num_strassen(machine):
+    return NumericOptimizer(StrassenMatMulCosts(), machine)
+
+
+N = 1e5
+
+
+class TestMinEnergy:
+    def test_local_optimality(self, num):
+        run = num.min_energy(N)
+        e0 = run.energy
+        for factor in (0.7, 0.9, 1.1, 1.4):
+            M = run.M * factor
+            if M <= num.machine.memory_words:
+                assert num.energy_at(N, M) >= e0 * (1 - 1e-6)
+
+    def test_against_grid_search(self, num):
+        import numpy as np
+
+        run = num.min_energy(N)
+        grid = np.geomspace(1.0, num.machine.memory_words, 2000)
+        brute = min(num.energy_at(N, M) for M in grid)
+        assert run.energy <= brute * (1 + 1e-6)
+
+    def test_strassen_variant(self, num_strassen):
+        run = num_strassen.min_energy(N)
+        assert run.energy > 0
+        assert run.M <= num_strassen.machine.memory_words
+
+    def test_agrees_with_closed_form_for_nbody(self, machine):
+        """Sanity: the numeric machinery applied to the n-body cost model
+        must land on the analytic M0/E*."""
+        f = 10.0
+        num = NumericOptimizer(NBodyCosts(interaction_flops=f), machine)
+        analytic = NBodyOptimizer(machine, interaction_flops=f)
+        n = 1e6
+        run = num.min_energy(n)
+        assert run.energy == pytest.approx(analytic.min_energy(n), rel=1e-4)
+        assert run.M == pytest.approx(analytic.optimal_memory(), rel=1e-2)
+
+    def test_invalid(self, num):
+        with pytest.raises(ParameterError):
+            num.min_energy(0)
+
+
+class TestMinEnergyGivenRuntime:
+    def test_loose_deadline_matches_global(self, num):
+        free = num.min_energy(N)
+        run = num.min_energy_given_runtime(N, free.time * 1e6)
+        assert run.energy <= free.energy * (1 + 1e-6)
+
+    def test_deadline_respected(self, num):
+        fast = num.fastest_time_at(N, num.machine.memory_words)[0]
+        t_max = fast * 10
+        run = num.min_energy_given_runtime(N, t_max)
+        assert run.time <= t_max * (1 + 1e-6)
+
+    def test_impossible_deadline(self, num):
+        with pytest.raises(InfeasibleError):
+            num.min_energy_given_runtime(N, 1e-300)
+
+    def test_tight_deadline_costs_more(self, num):
+        free = num.min_energy(N)
+        fast = num.fastest_time_at(N, free.M)[0]
+        tight = num.min_energy_given_runtime(N, fast / 10)
+        assert tight.energy >= free.energy * (1 - 1e-9)
+
+
+class TestMinRuntimeGivenEnergy:
+    def test_budget_respected(self, num):
+        e_min = num.min_energy(N).energy
+        run = num.min_runtime_given_energy(N, e_min * 1.5)
+        assert run.energy <= e_min * 1.5 * (1 + 1e-6)
+
+    def test_infeasible_budget(self, num):
+        e_min = num.min_energy(N).energy
+        with pytest.raises(InfeasibleError):
+            num.min_runtime_given_energy(N, e_min * 0.5)
+
+    def test_more_budget_weakly_faster(self, num):
+        e_min = num.min_energy(N).energy
+        r1 = num.min_runtime_given_energy(N, e_min * 1.2)
+        r2 = num.min_runtime_given_energy(N, e_min * 3.0)
+        assert r2.time <= r1.time * (1 + 1e-9)
+
+
+class TestPowerBudget:
+    def test_budget_respected(self, num):
+        base = num.min_energy(N)
+        p1 = num.average_power(N, base.p, base.M) / base.p
+        budget = p1 * base.p * 4
+        run = num.min_runtime_given_total_power(N, budget)
+        assert num.average_power(N, run.p, run.M) <= budget * (1 + 1e-6)
+
+    def test_infeasible_budget(self, num):
+        with pytest.raises(InfeasibleError):
+            num.min_runtime_given_total_power(N, 1e-30)
+
+    def test_more_power_weakly_faster(self, num):
+        base = num.min_energy(N)
+        p_total = num.average_power(N, base.p, base.M)
+        r1 = num.min_runtime_given_total_power(N, p_total * 2)
+        r2 = num.min_runtime_given_total_power(N, p_total * 20)
+        assert r2.time <= r1.time * (1 + 1e-9)
+
+
+class TestEfficiency:
+    def test_positive(self, num):
+        assert num.gflops_per_watt_optimal(N) > 0
+
+    def test_strassen_beats_classical_flops_per_joule(self, machine):
+        """At equal n, Strassen's optimal flops/J is computed over fewer
+        total flops but also less energy; the ratio total_flops/E* uses
+        each algorithm's own flop count, so both are internally
+        consistent (> 0)."""
+        c = NumericOptimizer(ClassicalMatMulCosts(), machine)
+        s = NumericOptimizer(StrassenMatMulCosts(), machine)
+        assert c.flops_per_joule_optimal(N) > 0
+        assert s.flops_per_joule_optimal(N) > 0
+
+    def test_strassen_min_energy_below_classical(self, machine):
+        """Strassen should never need more energy than classical for the
+        same problem at large n (fewer flops, fewer words)."""
+        n = 1e6
+        c = NumericOptimizer(ClassicalMatMulCosts(), machine).min_energy(n)
+        s = NumericOptimizer(StrassenMatMulCosts(), machine).min_energy(n)
+        assert s.energy < c.energy

@@ -1,0 +1,194 @@
+"""Unit tests for repro.core.parameters."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.parameters import (
+    MachineParameters,
+    TwoLevelMachineParameters,
+    effective_beta,
+)
+from repro.exceptions import ParameterError
+
+from conftest import machine_strategy
+
+
+def make(**over):
+    base = dict(
+        gamma_t=1e-9, beta_t=1e-8, alpha_t=1e-6,
+        gamma_e=1e-9, beta_e=1e-8, alpha_e=1e-7,
+        delta_e=1e-9, epsilon_e=1e-3,
+        memory_words=2.0**20, max_message_words=2.0**10,
+    )
+    base.update(over)
+    return MachineParameters(**base)
+
+
+class TestMachineParametersValidation:
+    def test_valid_construction(self):
+        m = make()
+        assert m.gamma_t == 1e-9
+        assert m.memory_words == 2.0**20
+
+    def test_zero_gamma_t_rejected(self):
+        with pytest.raises(ParameterError):
+            make(gamma_t=0.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ParameterError):
+            make(beta_e=-1e-9)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ParameterError):
+            make(delta_e=float("nan"))
+
+    def test_inf_time_rejected(self):
+        with pytest.raises(ParameterError):
+            make(alpha_t=float("inf"))
+
+    def test_zero_memory_rejected(self):
+        with pytest.raises(ParameterError):
+            make(memory_words=0.0)
+
+    def test_message_exceeding_memory_rejected(self):
+        with pytest.raises(ParameterError):
+            make(memory_words=100.0, max_message_words=101.0)
+
+    def test_message_equal_memory_allowed(self):
+        m = make(memory_words=100.0, max_message_words=100.0)
+        assert m.max_message_words == 100.0
+
+    def test_zero_energy_params_allowed(self):
+        # The paper's case study sets alpha_e = eps_e = 0.
+        m = make(alpha_e=0.0, epsilon_e=0.0)
+        assert m.alpha_e == 0.0
+
+    def test_frozen(self):
+        m = make()
+        with pytest.raises(AttributeError):
+            m.gamma_t = 1.0  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert isinstance(hash(make()), int)
+
+
+class TestDerivedQuantities:
+    def test_beta_t_eff_folds_latency(self):
+        m = make(beta_t=1e-8, alpha_t=1e-6, max_message_words=100.0)
+        assert m.beta_t_eff == pytest.approx(1e-8 + 1e-6 / 100.0)
+
+    def test_beta_e_eff_folds_message_energy(self):
+        m = make(beta_e=1e-8, alpha_e=1e-6, max_message_words=100.0)
+        assert m.beta_e_eff == pytest.approx(1e-8 + 1e-6 / 100.0)
+
+    def test_comm_energy_per_word_matches_paper_B(self):
+        m = make()
+        expected = (
+            m.beta_e
+            + m.beta_t * m.epsilon_e
+            + (m.alpha_e + m.alpha_t * m.epsilon_e) / m.max_message_words
+        )
+        assert m.comm_energy_per_word == pytest.approx(expected)
+
+    def test_flop_energy(self):
+        m = make(gamma_e=2e-9, gamma_t=1e-9, epsilon_e=0.5)
+        assert m.flop_energy == pytest.approx(2e-9 + 0.5e-9)
+
+    def test_peak_flops_per_watt(self):
+        m = make(gamma_e=4e-10)
+        assert m.peak_flops_per_watt() == pytest.approx(2.5e9)
+
+    @given(machine_strategy())
+    def test_effective_betas_at_least_raw(self, m):
+        assert m.beta_t_eff >= m.beta_t
+        assert m.beta_e_eff >= m.beta_e
+
+
+class TestReplaceAndScale:
+    def test_replace_changes_field(self):
+        m = make().replace(gamma_e=9e-9)
+        assert m.gamma_e == 9e-9
+        assert m.beta_e == 1e-8  # untouched
+
+    def test_replace_validates(self):
+        with pytest.raises(ParameterError):
+            make().replace(gamma_t=-1.0)
+
+    def test_scale_multiplies(self):
+        m = make(gamma_e=8e-9).scale(gamma_e=0.5)
+        assert m.gamma_e == pytest.approx(4e-9)
+
+    def test_scale_multiple_fields(self):
+        m = make(gamma_e=8e-9, beta_e=4e-8).scale(gamma_e=0.5, beta_e=0.25)
+        assert m.gamma_e == pytest.approx(4e-9)
+        assert m.beta_e == pytest.approx(1e-8)
+
+    def test_scale_unknown_field_rejected(self):
+        with pytest.raises(ParameterError):
+            make().scale(bogus=0.5)
+
+    def test_scale_negative_factor_rejected(self):
+        with pytest.raises(ParameterError):
+            make().scale(gamma_e=-1.0)
+
+    @given(machine_strategy(), st.floats(min_value=0.1, max_value=10.0))
+    def test_scale_roundtrip(self, m, factor):
+        scaled = m.scale(beta_e=factor)
+        assert scaled.beta_e == pytest.approx(m.beta_e * factor)
+
+
+class TestEffectiveBeta:
+    def test_formula(self):
+        assert effective_beta(1e-8, 1e-6, 100.0) == pytest.approx(1e-8 + 1e-8)
+
+    def test_infinite_m(self):
+        assert effective_beta(1e-8, 1e-6, math.inf) == pytest.approx(1e-8)
+
+    def test_zero_m_rejected(self):
+        with pytest.raises(ParameterError):
+            effective_beta(1e-8, 1e-6, 0.0)
+
+
+def make_twolevel(**over):
+    base = dict(
+        gamma_t=1e-9, gamma_e=1e-9, epsilon_e=0.0,
+        beta_t_node=1e-8, alpha_t_node=1e-6,
+        beta_e_node=1e-8, alpha_e_node=1e-7,
+        beta_t_core=1e-9, alpha_t_core=1e-7,
+        beta_e_core=1e-9, alpha_e_core=1e-8,
+        delta_e_node=1e-9, delta_e_core=1e-10,
+        memory_node=2.0**24, memory_core=2.0**16,
+        p_nodes=4, p_cores=8,
+    )
+    base.update(over)
+    return TwoLevelMachineParameters(**base)
+
+
+class TestTwoLevelParameters:
+    def test_p_total(self):
+        assert make_twolevel(p_nodes=3, p_cores=5).p_total == 15
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ParameterError):
+            make_twolevel(p_nodes=0)
+
+    def test_negative_link_cost_rejected(self):
+        with pytest.raises(ParameterError):
+            make_twolevel(beta_t_node=-1.0)
+
+    def test_effective_betas_default_unbounded_messages(self):
+        m = make_twolevel()
+        assert m.beta_t_node_eff == m.beta_t_node
+        assert m.beta_e_core_eff == m.beta_e_core
+
+    def test_effective_betas_with_message_cap(self):
+        m = make_twolevel(max_message_node=100.0)
+        assert m.beta_t_node_eff == pytest.approx(1e-8 + 1e-6 / 100.0)
+        assert m.beta_e_node_eff == pytest.approx(1e-8 + 1e-7 / 100.0)
+
+    def test_replace(self):
+        m = make_twolevel().replace(p_cores=2)
+        assert m.p_cores == 2

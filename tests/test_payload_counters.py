@@ -1,0 +1,142 @@
+"""Tests for payload word accounting, copies, and cost counters."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import CommunicatorError, ParameterError
+from repro.simmpi.counters import CostCounter
+from repro.simmpi.payload import copy_payload, message_count, payload_words
+
+
+class TestPayloadWords:
+    def test_none_is_free(self):
+        assert payload_words(None) == 0
+
+    def test_scalars(self):
+        assert payload_words(3) == 1
+        assert payload_words(3.5) == 1
+        assert payload_words(1 + 2j) == 1
+        assert payload_words(True) == 1
+        assert payload_words(np.float64(1.0)) == 1
+
+    def test_arrays_by_element(self):
+        assert payload_words(np.zeros((3, 4))) == 12
+        assert payload_words(np.zeros(7, dtype=np.int8)) == 7  # words, not bytes
+
+    def test_containers(self):
+        assert payload_words([np.zeros(3), 2.0]) == 4
+        assert payload_words((np.zeros(2), np.zeros(2))) == 4
+        assert payload_words({"a": np.zeros(5), "b": 1}) == 6
+
+    def test_strings(self):
+        assert payload_words("x") == 1
+        assert payload_words("x" * 16) == 2
+        assert payload_words(b"12345678") == 1
+
+    def test_custom_hook(self):
+        class Blob:
+            def __payload_words__(self):
+                return 42
+
+        assert payload_words(Blob()) == 42
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CommunicatorError):
+            payload_words(object())
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=5))
+    def test_nested_lists_sum(self, sizes):
+        payload = [np.zeros(s) for s in sizes]
+        assert payload_words(payload) == sum(sizes)
+
+
+class TestCopyPayload:
+    def test_array_is_independent(self):
+        a = np.arange(5)
+        b = copy_payload(a)
+        b[0] = 99
+        assert a[0] == 0
+
+    def test_nested_containers_deep(self):
+        payload = {"x": [np.arange(3)], "y": (np.arange(2),)}
+        out = copy_payload(payload)
+        out["x"][0][0] = 99
+        assert payload["x"][0][0] == 0
+
+    def test_scalars_passthrough(self):
+        assert copy_payload(5) == 5
+        assert copy_payload(None) is None
+        assert copy_payload("s") == "s"
+
+    def test_noncontiguous_array(self):
+        a = np.arange(16).reshape(4, 4).T
+        b = copy_payload(a)
+        assert np.array_equal(a, b)
+        assert b.flags["C_CONTIGUOUS"]
+
+
+class TestMessageCount:
+    def test_zero_words_is_one_message(self):
+        # Pure synchronization still costs a message (paper Section II).
+        assert message_count(0, 100) == 1
+
+    def test_fits_one(self):
+        assert message_count(100, 100) == 1
+
+    def test_ceil(self):
+        assert message_count(101, 100) == 2
+        assert message_count(1000, 100) == 10
+        assert message_count(1001, 100) == 11
+
+    def test_unbounded(self):
+        assert message_count(10**12, math.inf) == 1
+
+    @given(st.integers(min_value=1, max_value=10**6),
+           st.integers(min_value=1, max_value=10**4))
+    def test_matches_ceil_formula(self, words, m):
+        assert message_count(words, m) == -(-words // m)
+
+
+class TestCostCounter:
+    def test_flops_accumulate(self):
+        c = CostCounter(rank=0)
+        c.add_flops(10)
+        c.add_flops(5.5)
+        assert c.flops == 15.5
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ParameterError):
+            CostCounter(rank=0).add_flops(-1)
+
+    def test_send_recv_tallies(self):
+        c = CostCounter(rank=1)
+        c.add_send(100, 2)
+        c.add_recv(50, 1)
+        s = c.snapshot()
+        assert (s.words_sent, s.messages_sent) == (100, 2)
+        assert (s.words_received, s.messages_received) == (50, 1)
+        assert s.words == 100 and s.messages == 2
+
+    def test_memory_high_water(self):
+        c = CostCounter(rank=0)
+        c.allocate(100)
+        c.allocate(50)
+        assert c.mem_peak_words == 150
+        c.release()
+        c.allocate(10)
+        assert c.mem_words == 110
+        assert c.mem_peak_words == 150
+
+    def test_release_without_allocate(self):
+        with pytest.raises(ParameterError):
+            CostCounter(rank=0).release()
+
+    def test_snapshot_immutable(self):
+        c = CostCounter(rank=3)
+        s = c.snapshot()
+        with pytest.raises(AttributeError):
+            s.flops = 1.0  # type: ignore[misc]

@@ -1,0 +1,137 @@
+"""Additional property-based suites over the core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import ClassicalMatMulCosts, NBodyCosts, StrassenMatMulCosts
+from repro.core.energy import energy
+from repro.core.scaling import perfect_scaling_range, verify_perfect_scaling
+from repro.core.timing import runtime
+from repro.simmpi.cart import CartComm, factor_grid
+from repro.simmpi.engine import run_spmd
+
+from conftest import machine_strategy
+
+COST_MODELS = st.sampled_from(
+    [
+        ClassicalMatMulCosts(),
+        StrassenMatMulCosts(),
+        NBodyCosts(interaction_flops=7.0),
+    ]
+)
+
+
+class TestScalingTheoremProperty:
+    @given(
+        machine_strategy(),
+        COST_MODELS,
+        st.floats(min_value=1e3, max_value=1e6),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=5
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_certificate_holds_for_any_in_range_points(
+        self, m, costs, n, m_frac, fractions
+    ):
+        """The headline theorem as a universally quantified property:
+        any set of in-range p values certifies perfectly."""
+        M_hi = min(m.memory_words, costs.memory_min(n, 1.0))
+        M = max(1.0, M_hi * m_frac)
+        rng = perfect_scaling_range(costs, n, M)
+        if rng.p_max <= rng.p_min * (1 + 1e-9):
+            return  # degenerate range at this M
+        ps = sorted(
+            rng.p_min * (rng.p_max / rng.p_min) ** f for f in fractions
+        )
+        report = verify_perfect_scaling(costs, m, n, M, ps)
+        assert report.is_perfect(tol=1e-6)
+
+    @given(
+        machine_strategy(),
+        COST_MODELS,
+        st.floats(min_value=1e3, max_value=1e6),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_energy_time_product_scaling(self, m, costs, n, m_frac):
+        """Inside the range, E*T falls exactly as 1/p — constant energy
+        with 1/p runtime, the energy-delay-product corollary."""
+        M_hi = min(m.memory_words, costs.memory_min(n, 1.0))
+        M = max(1.0, M_hi * m_frac)
+        rng = perfect_scaling_range(costs, n, M)
+        if rng.p_max <= rng.p_min * 4:
+            return
+        p1, p2 = rng.p_min, rng.p_min * 4
+        edp1 = (
+            energy(costs, m, n, p1, M).total * runtime(costs, m, n, p1, M).total
+        )
+        edp2 = (
+            energy(costs, m, n, p2, M).total * runtime(costs, m, n, p2, M).total
+        )
+        assert edp2 == pytest.approx(edp1 / 4, rel=1e-9)
+
+
+class TestCartProperties:
+    @given(
+        st.integers(min_value=1, max_value=24),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_coords_bijective(self, p, ndims, seed):
+        dims = factor_grid(p, ndims)
+
+        def prog(comm):
+            cc = CartComm(comm, dims)
+            coords = cc.rank_to_coords(comm.rank)
+            return (
+                all(0 <= c < d for c, d in zip(coords, dims))
+                and cc.coords_to_rank(coords) == comm.rank
+            )
+
+        assert all(run_spmd(p, prog).results)
+
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=-3, max_value=3),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_shift_roundtrip(self, rows, cols, disp):
+        """Shifting by +d then -d along any dim restores the data."""
+        p = rows * cols
+
+        def prog(comm):
+            cc = CartComm(comm, (rows, cols))
+            there = cc.shift(np.array([float(comm.rank)]), 0, disp, tag="a")
+            back = cc.shift(there, 0, -disp, tag="b")
+            return float(back[0]) == float(comm.rank)
+
+        assert all(run_spmd(p, prog).results)
+
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=2, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_row_col_subs_partition(self, rows, cols):
+        """Row and column sub-communicators tile the grid exactly."""
+        p = rows * cols
+
+        def prog(comm):
+            cc = CartComm(comm, (rows, cols))
+            row = cc.sub((False, True))
+            col = cc.sub((True, False))
+            row_members = row.comm.allgather(comm.rank)
+            col_members = col.comm.allgather(comm.rank)
+            i, j = cc.coords
+            return (
+                len(row_members) == cols
+                and len(col_members) == rows
+                and set(row_members) & set(col_members) == {comm.rank}
+            )
+
+        assert all(run_spmd(p, prog).results)

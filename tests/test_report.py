@@ -1,0 +1,28 @@
+"""Tests for the generated experiment report."""
+
+from repro.analysis.report import generate_report
+from repro.cli import main
+
+
+class TestGenerateReport:
+    def test_quick_report_sections(self):
+        text = generate_report(quick=True)
+        for heading in (
+            "Fig. 3",
+            "Figs. 6-7",
+            "Table II",
+            "Perfect strong scaling",
+            "Where perfect scaling fails",
+        ):
+            assert heading in text
+
+    def test_contains_headline_numbers(self):
+        text = generate_report(quick=True)
+        assert "crosses 75 GFLOPS/W at generation 5.56" in text
+        assert "matmul25d c=1" in text
+        assert "nbody c=1" in text
+
+    def test_cli_report(self, capsys):
+        assert main(["report", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Reproduction report")

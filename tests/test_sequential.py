@@ -1,0 +1,190 @@
+"""Tests for the sequential two-level substrate (Fig. 1a): the LRU fast
+memory and the blocked vs naive matmul traffic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import sequential_bandwidth_lower_bound
+from repro.exceptions import ParameterError
+from repro.sequential.blocked_matmul import (
+    blocked_matmul,
+    blocked_traffic_model,
+    naive_matmul,
+    optimal_block_size,
+)
+from repro.sequential.cache import FastMemory
+
+
+class TestFastMemory:
+    def test_miss_loads(self):
+        fm = FastMemory(100)
+        fm.touch("a", 10)
+        assert fm.stats.misses == 1
+        assert fm.stats.words_loaded == 10
+        assert fm.used_words == 10
+
+    def test_hit_free(self):
+        fm = FastMemory(100)
+        fm.touch("a", 10)
+        fm.touch("a", 10)
+        assert fm.stats.hits == 1
+        assert fm.stats.words_loaded == 10
+
+    def test_lru_eviction_order(self):
+        fm = FastMemory(30)
+        fm.touch("a", 10)
+        fm.touch("b", 10)
+        fm.touch("c", 10)
+        fm.touch("a", 10)  # refresh a; b is now LRU
+        fm.touch("d", 10)  # evicts b
+        assert fm.contains("a") and fm.contains("c") and fm.contains("d")
+        assert not fm.contains("b")
+
+    def test_clean_eviction_free(self):
+        fm = FastMemory(10)
+        fm.touch("a", 10)
+        fm.touch("b", 10)  # evicts clean a: no writeback
+        assert fm.stats.words_stored == 0
+
+    def test_dirty_eviction_writes_back(self):
+        fm = FastMemory(10)
+        fm.touch("a", 10, write=True)
+        fm.touch("b", 10)
+        assert fm.stats.words_stored == 10
+
+    def test_create_skips_load(self):
+        fm = FastMemory(100)
+        fm.create("c", 20)
+        assert fm.stats.words_loaded == 0
+        fm.flush()
+        assert fm.stats.words_stored == 20  # created blocks are dirty
+
+    def test_create_duplicate_rejected(self):
+        fm = FastMemory(100)
+        fm.create("c", 20)
+        with pytest.raises(ParameterError):
+            fm.create("c", 20)
+
+    def test_explicit_evict(self):
+        fm = FastMemory(100)
+        fm.touch("a", 10, write=True)
+        fm.evict("a")
+        assert fm.stats.words_stored == 10
+        with pytest.raises(ParameterError):
+            fm.evict("a")
+
+    def test_oversized_block_rejected(self):
+        fm = FastMemory(10)
+        with pytest.raises(ParameterError):
+            fm.touch("big", 11)
+
+    def test_block_resize_rejected(self):
+        fm = FastMemory(100)
+        fm.touch("a", 10)
+        with pytest.raises(ParameterError):
+            fm.touch("a", 20)
+
+    def test_flush_empties(self):
+        fm = FastMemory(100)
+        fm.touch("a", 10)
+        fm.touch("b", 10, write=True)
+        fm.flush()
+        assert fm.used_words == 0
+        assert fm.stats.words_stored == 10
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=60))
+    @settings(max_examples=30)
+    def test_capacity_never_exceeded(self, accesses):
+        fm = FastMemory(35)
+        for key in accesses:
+            fm.touch(key, 10)
+            assert fm.used_words <= 35
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=40))
+    @settings(max_examples=30)
+    def test_conservation_loads_cover_distinct_misses(self, accesses):
+        fm = FastMemory(20)
+        for key in accesses:
+            fm.touch(key, 10)
+        assert fm.stats.words_loaded == 10 * fm.stats.misses
+        assert fm.stats.hits + fm.stats.misses == len(accesses)
+
+
+class TestBlockSize:
+    def test_three_tiles_fit(self):
+        b = optimal_block_size(3 * 16 * 16)
+        assert b == 16
+        assert 3 * b * b <= 3 * 16 * 16
+
+    def test_minimum(self):
+        assert optimal_block_size(3) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            optimal_block_size(2)
+
+
+class TestBlockedMatmul:
+    @pytest.mark.parametrize("n,M", [(16, 3 * 4 * 4), (48, 3 * 8 * 8), (30, 3 * 6 * 6)])
+    def test_correct(self, n, M, rng):
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        fm = FastMemory(M)
+        assert np.allclose(blocked_matmul(a, b, fm), a @ b)
+
+    def test_traffic_tracks_model(self, rng):
+        n, M = 48, 3 * 8 * 8
+        a = rng.standard_normal((n, n))
+        fm = FastMemory(M)
+        blocked_matmul(a, a, fm)
+        model = blocked_traffic_model(n, M)
+        assert 0.8 * model < fm.stats.words_moved < 1.5 * model
+
+    def test_traffic_dominates_lower_bound(self, rng):
+        """Eq. (3): any schedule moves at least F/sqrt(M) words."""
+        n, M = 48, 3 * 8 * 8
+        a = rng.standard_normal((n, n))
+        fm = FastMemory(M)
+        blocked_matmul(a, a, fm)
+        lb = sequential_bandwidth_lower_bound(2.0 * n**3, M)
+        assert fm.stats.words_moved >= lb
+
+    def test_traffic_scales_as_inverse_sqrt_memory(self, rng):
+        """4x the memory -> ~half the traffic (the 1/sqrt(M) law)."""
+        n = 48
+        a = rng.standard_normal((n, n))
+        fm1 = FastMemory(3 * 8 * 8)
+        blocked_matmul(a, a, fm1)
+        fm2 = FastMemory(3 * 16 * 16)
+        blocked_matmul(a, a, fm2)
+        ratio = fm1.stats.words_moved / fm2.stats.words_moved
+        assert ratio == pytest.approx(2.0, rel=0.25)
+
+
+class TestNaiveMatmul:
+    def test_correct(self, rng):
+        n = 24
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        fm = FastMemory(3 * n)
+        assert np.allclose(naive_matmul(a, b, fm), a @ b)
+
+    def test_traffic_cubic_when_memory_small(self, rng):
+        n = 32
+        a = rng.standard_normal((n, n))
+        fm = FastMemory(3 * n)  # holds a row + a couple of columns
+        naive_matmul(a, a, fm)
+        # Every B column reloads for every row: ~n^3 words.
+        assert fm.stats.words_moved > 0.8 * n**3
+
+    def test_blocked_beats_naive(self, rng):
+        """The communication-avoidance payoff at equal fast memory."""
+        n, M = 48, 3 * 8 * 8
+        a = rng.standard_normal((n, n))
+        fm_b = FastMemory(M)
+        blocked_matmul(a, a, fm_b)
+        fm_n = FastMemory(M)
+        naive_matmul(a, a, fm_n)
+        assert fm_b.stats.words_moved < 0.5 * fm_n.stats.words_moved

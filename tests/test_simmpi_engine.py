@@ -1,0 +1,248 @@
+"""Tests for the SPMD engine, mailboxes, point-to-point messaging and
+failure handling."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    CommunicatorError,
+    DeadlockError,
+    RankFailedError,
+)
+from repro.simmpi.engine import run_spmd
+from repro.simmpi.mailbox import ANY_TAG, Mailbox
+
+
+class TestRunSpmd:
+    def test_results_ordered_by_rank(self):
+        out = run_spmd(5, lambda comm: comm.rank * 10)
+        assert out.results == (0, 10, 20, 30, 40)
+
+    def test_single_rank(self):
+        out = run_spmd(1, lambda comm: comm.size)
+        assert out.results == (1,)
+
+    def test_args_kwargs_forwarded(self):
+        def prog(comm, a, b=0):
+            return a + b + comm.rank
+
+        out = run_spmd(3, prog, 100, b=10)
+        assert out.results == (110, 111, 112)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda comm: None)
+
+    def test_indexing_and_iteration(self):
+        out = run_spmd(3, lambda comm: comm.rank)
+        assert out[1] == 1
+        assert list(out) == [0, 1, 2]
+
+    def test_report_attached(self):
+        out = run_spmd(2, lambda comm: comm.add_flops(5))
+        assert out.report.total_flops == 10
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(4), 1, tag="data")
+                return None
+            return comm.recv(0, tag="data").sum()
+
+        out = run_spmd(2, prog)
+        assert out.results[1] == 6
+
+    def test_message_isolation_by_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("first", 1, tag="a")
+                comm.send("second", 1, tag="b")
+                return None
+            # Receive in reverse tag order: matching is per-channel.
+            second = comm.recv(0, tag="b")
+            first = comm.recv(0, tag="a")
+            return (first, second)
+
+        out = run_spmd(2, prog)
+        assert out.results[1] == ("first", "second")
+
+    def test_fifo_per_channel(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(i, 1)
+                return None
+            return [comm.recv(0) for _ in range(10)]
+
+        out = run_spmd(2, prog)
+        assert out.results[1] == list(range(10))
+
+    def test_receiver_gets_a_copy(self):
+        """Distributed-memory semantics: mutating a received buffer must
+        not corrupt the sender's array."""
+        src = np.arange(4)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(src, 1)
+                comm.barrier()
+                return src.copy()
+            buf = comm.recv(0)
+            buf[:] = -1
+            comm.barrier()
+            return buf
+
+        out = run_spmd(2, prog)
+        assert np.array_equal(out.results[0], [0, 1, 2, 3])
+
+    def test_counts_sent_and_received(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(250), 1)
+            elif comm.rank == 1:
+                comm.recv(0)
+
+        out = run_spmd(2, prog, max_message_words=100)
+        snap = out.report.ranks
+        assert snap[0].words_sent == 250
+        assert snap[0].messages_sent == 3  # ceil(250/100)
+        assert snap[1].words_received == 250
+        assert snap[1].messages_received == 3
+        assert out.report.words_conserved()
+
+    def test_self_sendrecv_unmetered(self):
+        def prog(comm):
+            got = comm.sendrecv(np.arange(3), dest=comm.rank, source=comm.rank)
+            return got.sum()
+
+        out = run_spmd(2, prog)
+        assert out.results == (3, 3)
+        assert out.report.total_words == 0
+
+    def test_shift_ring(self):
+        def prog(comm):
+            got = comm.shift(comm.rank, 1)
+            return got
+
+        out = run_spmd(4, prog)
+        assert out.results == (3, 0, 1, 2)
+
+    def test_any_tag_recv(self):
+        """Comm.recv accepts the ANY_TAG wildcard (arrival order)."""
+        from repro.simmpi.mailbox import ANY_TAG
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("first", 1, tag="zebra")
+                comm.send("second", 1, tag="aardvark")
+                return None
+            return (comm.recv(0, tag=ANY_TAG), comm.recv(0, tag=ANY_TAG))
+
+        out = run_spmd(2, prog)
+        assert out.results[1] == ("first", "second")
+
+    def test_bad_peer_rejected(self):
+        def prog(comm):
+            comm.send(1, 99)
+
+        with pytest.raises(RankFailedError) as exc:
+            run_spmd(2, prog)
+        assert all(
+            isinstance(e, CommunicatorError) for e in exc.value.failures.values()
+        )
+
+
+class TestFailureHandling:
+    def test_rank_exception_propagates(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            return comm.rank
+
+        with pytest.raises(RankFailedError) as exc:
+            run_spmd(3, prog)
+        assert 1 in exc.value.failures
+        assert isinstance(exc.value.failures[1], ValueError)
+
+    def test_peer_failure_unblocks_receivers(self):
+        """A crash on one rank must not leave others hanging until the
+        watchdog: the abort wakes them immediately."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise RuntimeError("early death")
+            comm.recv(0)  # would block forever
+
+        t0 = time.time()
+        with pytest.raises(RankFailedError) as exc:
+            run_spmd(2, prog, timeout=30.0)
+        assert time.time() - t0 < 5.0
+        # The primary failure is reported, not the secondary deadlock.
+        assert isinstance(exc.value.failures[0], RuntimeError)
+
+    def test_deadlock_watchdog(self):
+        def prog(comm):
+            comm.recv((comm.rank + 1) % comm.size)  # everyone waits
+
+        with pytest.raises(RankFailedError) as exc:
+            run_spmd(2, prog, timeout=0.2)
+        assert all(
+            isinstance(e, DeadlockError) for e in exc.value.failures.values()
+        )
+
+
+class TestMailbox:
+    def test_put_get(self):
+        box = Mailbox(0)
+        box.put(source=1, context="c", tag="t", payload="hello")
+        assert box.get(1, "c", "t", timeout=1.0) == "hello"
+
+    def test_get_blocks_until_put(self):
+        box = Mailbox(0)
+        result = []
+
+        def producer():
+            time.sleep(0.05)
+            box.put(2, "c", 0, payload=42)
+
+        t = threading.Thread(target=producer)
+        t.start()
+        result.append(box.get(2, "c", 0, timeout=5.0))
+        t.join()
+        assert result == [42]
+
+    def test_timeout_raises(self):
+        box = Mailbox(0)
+        with pytest.raises(DeadlockError):
+            box.get(1, "c", "t", timeout=0.05)
+
+    def test_any_tag(self):
+        box = Mailbox(0)
+        box.put(1, "c", "zeta", payload="z")
+        box.put(1, "c", "alpha", payload="a")
+        # ANY_TAG delivers in arrival order, not tag order.
+        assert box.get(1, "c", ANY_TAG, timeout=1.0) == "z"
+        assert box.get(1, "c", ANY_TAG, timeout=1.0) == "a"
+
+    def test_context_isolation(self):
+        box = Mailbox(0)
+        box.put(1, "ctx1", "t", payload="one")
+        with pytest.raises(DeadlockError):
+            box.get(1, "ctx2", "t", timeout=0.05)
+
+    def test_pending(self):
+        box = Mailbox(0)
+        assert box.pending() == 0
+        box.put(1, "c", "t", payload=1)
+        box.put(1, "c", "t", payload=2)
+        assert box.pending() == 2
+
+    def test_abort_check(self):
+        box = Mailbox(0)
+        with pytest.raises(DeadlockError, match="peer rank failed"):
+            box.get(1, "c", "t", timeout=60.0, abort_check=lambda: True)

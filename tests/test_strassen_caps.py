@@ -1,0 +1,186 @@
+"""Tests for sequential Strassen and the parallel CAPS algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.caps import (
+    caps_assemble,
+    caps_depth,
+    caps_matmul,
+    is_power_of_7,
+)
+from repro.algorithms.strassen import strassen_flop_count, strassen_matmul
+from repro.exceptions import ParameterError, RankFailedError
+from repro.simmpi.engine import run_spmd
+
+
+class TestSequentialStrassen:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 48, 56, 96])
+    def test_correct(self, n, rng):
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        assert np.allclose(strassen_matmul(a, b, cutoff=8), a @ b)
+
+    def test_cutoff_1_pure_recursion(self, rng):
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        assert np.allclose(strassen_matmul(a, b, cutoff=1), a @ b)
+
+    def test_flop_counter_matches_prediction(self, rng):
+        for n, cutoff in ((16, 4), (32, 8), (48, 8)):
+            a = rng.standard_normal((n, n))
+            b = rng.standard_normal((n, n))
+            flops = []
+            strassen_matmul(a, b, cutoff=cutoff, flop_counter=flops.append)
+            assert sum(flops) == pytest.approx(strassen_flop_count(n, cutoff))
+
+    def test_flops_below_classical(self):
+        # For large n the recursion must beat 2 n^3.
+        n = 1024
+        assert strassen_flop_count(n, cutoff=32) < 2.0 * n**3
+
+    def test_flops_follow_omega_asymptotics(self):
+        # Doubling n multiplies the flop count by ~7 deep in the recursion.
+        f1 = strassen_flop_count(2048, cutoff=2)
+        f2 = strassen_flop_count(4096, cutoff=2)
+        assert f2 / f1 == pytest.approx(7.0, rel=0.05)
+
+    def test_odd_above_cutoff_rejected(self, rng):
+        a = rng.standard_normal((7, 7))
+        with pytest.raises(ParameterError):
+            strassen_matmul(a, a, cutoff=4)  # 7 odd and above the cutoff
+
+    def test_odd_reached_below_cutoff_ok(self, rng):
+        # 12 -> 6 -> 3: the odd order lands under the cutoff, so the
+        # recursion bottoms out classically instead of failing.
+        a = rng.standard_normal((12, 12))
+        b = rng.standard_normal((12, 12))
+        assert np.allclose(strassen_matmul(a, b, cutoff=4), a @ b)
+
+    def test_mismatched_shapes_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            strassen_matmul(np.zeros((4, 4)), np.zeros((8, 8)))
+
+    def test_bad_cutoff(self):
+        with pytest.raises(ParameterError):
+            strassen_matmul(np.eye(4), np.eye(4), cutoff=0)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_numpy_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 32
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        assert np.allclose(strassen_matmul(a, b, cutoff=4), a @ b)
+
+
+class TestCapsHelpers:
+    def test_is_power_of_7(self):
+        assert is_power_of_7(1)
+        assert is_power_of_7(7)
+        assert is_power_of_7(49)
+        assert not is_power_of_7(14)
+        assert not is_power_of_7(0)
+
+    def test_caps_depth(self):
+        assert caps_depth(49, 0) == 2
+        assert caps_depth(7, 2) == 3
+        assert caps_depth(1, 0) == 0
+
+    def test_caps_depth_rejects_bad_p(self):
+        with pytest.raises(ParameterError):
+            caps_depth(10, 0)
+
+
+class TestCapsParallel:
+    @pytest.mark.parametrize(
+        "p,n,dfs",
+        [(1, 16, 0), (1, 16, 2), (7, 14, 0), (7, 28, 0), (7, 28, 1), (49, 28, 0)],
+    )
+    def test_correct(self, p, n, dfs, rng):
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        out = run_spmd(p, caps_matmul, a, b, dfs)
+        c = caps_assemble(list(out.results), n, p, dfs)
+        assert np.allclose(c, a @ b)
+
+    def test_classical_base(self, rng):
+        n = 14
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        out = run_spmd(7, caps_matmul, a, b, 0, 32, False)
+        c = caps_assemble(list(out.results), n, 7, 0)
+        assert np.allclose(c, a @ b)
+
+    def test_flops_match_strassen_envelope(self, rng):
+        """One BFS level + classical base: total flops = 7 * 2 (n/2)^3
+        + 18 (n/2)^2 combination adds."""
+        n = 14
+        a = rng.standard_normal((n, n))
+        out = run_spmd(7, caps_matmul, a, a, 0, 32, False)
+        h = n // 2
+        expected = 18.0 * h * h + 7 * 2.0 * h**3
+        assert out.report.total_flops == pytest.approx(expected)
+
+    def test_invalid_p_rejected(self, rng):
+        a = np.eye(14)
+        with pytest.raises(RankFailedError):
+            run_spmd(6, caps_matmul, a, a)
+
+    def test_indivisible_n_rejected(self, rng):
+        a = np.eye(15)  # 15 odd: no quadrants
+        with pytest.raises(RankFailedError):
+            run_spmd(7, caps_matmul, a, a)
+
+    def test_words_conserved(self, rng):
+        a = np.eye(28)
+        out = run_spmd(7, caps_matmul, a, a)
+        assert out.report.words_conserved()
+
+    def test_dfs_reduces_nothing_at_p1_but_works(self, rng):
+        n = 16
+        a = rng.standard_normal((n, n))
+        out = run_spmd(1, caps_matmul, a, a, 2)
+        c = caps_assemble(list(out.results), n, 1, 2)
+        assert np.allclose(c, a @ a)
+        assert out.report.total_words == 0  # DFS is communication-free
+
+    def test_dfs_costs_more_communication_than_bfs_at_same_p(self, rng):
+        """The limited-memory (DFS-first) schedule trades bandwidth for
+        memory — W must rise, reproducing the EFLM > EFUM ordering."""
+        n = 28
+        a = rng.standard_normal((n, n))
+        w_bfs = run_spmd(7, caps_matmul, a, a, 0).report.max_words
+        w_dfs = run_spmd(7, caps_matmul, a, a, 1).report.max_words
+        assert w_dfs > w_bfs
+
+    def test_bandwidth_follows_p_power_law(self, rng):
+        """All-BFS CAPS: W ~ n^2 / p^(2/omega0). Going 7 -> 49 ranks at
+        fixed n should cut per-rank words by ~7^(2/omega0) ~ 4,
+        within implementation constants."""
+        n = 28
+        a = rng.standard_normal((n, n))
+        w7 = run_spmd(7, caps_matmul, a, a, 0).report.max_words
+        w49 = run_spmd(49, caps_matmul, a, a, 0).report.max_words
+        ideal = 7.0 ** (2.0 / math.log2(7.0))
+        assert w7 / w49 == pytest.approx(ideal, rel=0.7)
+
+    def test_negative_dfs_rejected(self):
+        a = np.eye(14)
+        with pytest.raises(RankFailedError):
+            run_spmd(7, caps_matmul, a, a, -1)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=5, deadline=None)
+    def test_identity_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 14
+        a = rng.standard_normal((n, n))
+        out = run_spmd(7, caps_matmul, a, np.eye(n))
+        c = caps_assemble(list(out.results), n, 7, 0)
+        assert np.allclose(c, a)

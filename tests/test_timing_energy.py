@@ -1,0 +1,246 @@
+"""Tests for the Eq. (1) runtime and Eq. (2) energy evaluators, and the
+paper's closed forms — including the headline p-independence claims."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import (
+    ClassicalMatMulCosts,
+    NBodyCosts,
+    StrassenMatMulCosts,
+)
+from repro.core.energy import (
+    energy,
+    energy_fft,
+    energy_from_counts,
+    energy_matmul_25d,
+    energy_matmul_3d,
+    energy_nbody,
+    energy_strassen_flm,
+    energy_strassen_fum,
+)
+from repro.core.timing import runtime, runtime_from_counts
+from repro.exceptions import MemoryRangeError, ParameterError
+
+from conftest import machine_strategy
+
+
+class TestRuntime:
+    def test_from_counts(self, machine):
+        t = runtime_from_counts(machine, F=1e9, W=1e6, S=1e3)
+        assert t.compute == pytest.approx(machine.gamma_t * 1e9)
+        assert t.bandwidth == pytest.approx(machine.beta_t * 1e6)
+        assert t.latency == pytest.approx(machine.alpha_t * 1e3)
+        assert t.total == pytest.approx(t.compute + t.bandwidth + t.latency)
+
+    def test_negative_counts_rejected(self, machine):
+        with pytest.raises(ParameterError):
+            runtime_from_counts(machine, F=-1, W=0, S=0)
+
+    def test_dominant_term(self, machine):
+        t = runtime_from_counts(machine, F=1e15, W=0, S=0)
+        assert t.dominant_term() == "compute"
+        t = runtime_from_counts(machine, F=0, W=1e15, S=0)
+        assert t.dominant_term() == "bandwidth"
+
+    def test_runtime_from_costs(self, machine):
+        costs = ClassicalMatMulCosts()
+        n, p = 1000.0, 64.0
+        M = costs.memory_min(n, p)
+        t = runtime(costs, machine, n, p, M)
+        assert t.compute == pytest.approx(machine.gamma_t * n**3 / p)
+
+    def test_memory_default_clamped(self, machine):
+        # With no M given, uses machine memory clamped into range.
+        costs = ClassicalMatMulCosts()
+        t = runtime(costs, machine, 1000.0, 64.0)
+        assert t.total > 0
+
+    def test_memory_validation(self, machine):
+        costs = ClassicalMatMulCosts()
+        with pytest.raises(MemoryRangeError):
+            runtime(costs, machine, 1000.0, 64.0, M=1.0)
+
+    def test_memory_validation_skippable(self, machine):
+        costs = ClassicalMatMulCosts()
+        t = runtime(costs, machine, 1000.0, 64.0, M=1.0, check_memory=False)
+        assert t.total > 0
+
+    def test_exceeding_physical_memory_rejected(self, machine):
+        costs = ClassicalMatMulCosts()
+        with pytest.raises(ParameterError):
+            runtime(costs, machine, 1e6, 4.0, M=machine.memory_words * 10)
+
+
+class TestEnergyGeneric:
+    def test_from_counts_terms(self, machine):
+        e = energy_from_counts(machine, F=1e9, W=1e6, S=1e3, M=1e6, p=8)
+        T = runtime_from_counts(machine, 1e9, 1e6, 1e3).total
+        assert e.compute == pytest.approx(8 * machine.gamma_e * 1e9)
+        assert e.bandwidth == pytest.approx(8 * machine.beta_e * 1e6)
+        assert e.latency == pytest.approx(8 * machine.alpha_e * 1e3)
+        assert e.memory == pytest.approx(8 * machine.delta_e * 1e6 * T)
+        assert e.leakage == pytest.approx(8 * machine.epsilon_e * T)
+
+    def test_explicit_runtime_used(self, machine):
+        e1 = energy_from_counts(machine, 1e9, 1e6, 1e3, M=1e6, p=8, T=1.0)
+        e2 = energy_from_counts(machine, 1e9, 1e6, 1e3, M=1e6, p=8, T=2.0)
+        assert e2.memory == pytest.approx(2 * e1.memory)
+        assert e2.compute == e1.compute
+
+    def test_invalid_p(self, machine):
+        with pytest.raises(ParameterError):
+            energy_from_counts(machine, 1, 1, 1, M=1, p=0)
+
+    def test_dominant_term(self, machine):
+        e = energy_from_counts(machine, F=1e18, W=0, S=0, M=0, p=1)
+        assert e.dominant_term() == "compute"
+
+
+class TestClosedFormsMatchGeneric:
+    """Every transcribed closed form must equal the Eq.-2 evaluator
+    applied to the corresponding cost expressions."""
+
+    @given(machine_strategy(), st.floats(min_value=100, max_value=1e5),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=50)
+    def test_matmul_25d(self, m, n, c_factor):
+        costs = ClassicalMatMulCosts()
+        M = min(m.memory_words, n**2)  # one-copy-on-one-proc ceiling
+        p = costs.p_min(n, M) * c_factor
+        if p > costs.p_max_perfect(n, M):
+            p = costs.p_max_perfect(n, M)
+        generic = energy(costs, m, n, p, M).total
+        closed = energy_matmul_25d(m, n, M)
+        assert closed == pytest.approx(generic, rel=1e-9)
+
+    @given(machine_strategy(), st.floats(min_value=100, max_value=1e5))
+    @settings(max_examples=50)
+    def test_matmul_3d(self, m, n):
+        costs = ClassicalMatMulCosts()
+        p = 64.0
+        M = costs.memory_max(n, p)
+        if M > m.memory_words:
+            M = m.memory_words
+            p = costs.p_max_perfect(n, M)
+        generic = energy(costs, m, n, p, M).total
+        closed = energy_matmul_3d(m, n, p)
+        assert closed == pytest.approx(generic, rel=1e-9)
+
+    @given(machine_strategy(), st.floats(min_value=100, max_value=1e5),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50)
+    def test_strassen_flm(self, m, n, c_factor):
+        costs = StrassenMatMulCosts()
+        M = min(m.memory_words, n**2)
+        p = costs.p_min(n, M) * c_factor
+        if p > costs.p_max_perfect(n, M):
+            p = costs.p_max_perfect(n, M)
+        generic = energy(costs, m, n, p, M).total
+        closed = energy_strassen_flm(m, n, M)
+        assert closed == pytest.approx(generic, rel=1e-9)
+
+    @given(machine_strategy(), st.floats(min_value=100, max_value=1e4))
+    @settings(max_examples=50)
+    def test_strassen_fum_is_flm_at_ceiling(self, m, n):
+        # Eq. (14) == Eq. (13) at M = n^2/p^(2/omega0) — with the
+        # corrected n^(omega0+2) memory term.
+        omega0 = math.log2(7)
+        p = 49.0
+        M = n**2 / p ** (2 / omega0)
+        assert energy_strassen_fum(m, n, p) == pytest.approx(
+            energy_strassen_flm(m, n, M), rel=1e-9
+        )
+
+    @given(machine_strategy(), st.floats(min_value=100, max_value=1e6),
+           st.integers(min_value=1, max_value=10),
+           st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=50)
+    def test_nbody(self, m, n, c_factor, f):
+        costs = NBodyCosts(interaction_flops=f)
+        M = min(m.memory_words, n)
+        p = costs.p_min(n, M) * c_factor
+        if p > costs.p_max_perfect(n, M):
+            p = costs.p_max_perfect(n, M)
+        generic = energy(costs, m, n, p, M).total
+        closed = energy_nbody(m, n, M, interaction_flops=f)
+        assert closed == pytest.approx(generic, rel=1e-9)
+
+
+class TestPerfectScalingEnergyIndependence:
+    """The headline theorem: E does not change with p inside the range."""
+
+    @given(machine_strategy(), st.floats(min_value=1000, max_value=1e5))
+    @settings(max_examples=50)
+    def test_matmul_energy_constant_in_p(self, m, n):
+        costs = ClassicalMatMulCosts()
+        M = min(m.memory_words, n**2 / 4)
+        p_lo = costs.p_min(n, M)
+        p_hi = costs.p_max_perfect(n, M)
+        e_lo = energy(costs, m, n, p_lo, M).total
+        e_mid = energy(costs, m, n, math.sqrt(p_lo * p_hi), M).total
+        e_hi = energy(costs, m, n, p_hi, M).total
+        assert e_lo == pytest.approx(e_mid, rel=1e-9)
+        assert e_lo == pytest.approx(e_hi, rel=1e-9)
+
+    @given(machine_strategy(), st.floats(min_value=1000, max_value=1e6))
+    @settings(max_examples=50)
+    def test_nbody_energy_constant_in_p(self, m, n):
+        costs = NBodyCosts(interaction_flops=5.0)
+        M = min(m.memory_words, n / 2)
+        p_lo = costs.p_min(n, M)
+        p_hi = costs.p_max_perfect(n, M)
+        e_lo = energy(costs, m, n, p_lo, M).total
+        e_hi = energy(costs, m, n, p_hi, M).total
+        assert e_lo == pytest.approx(e_hi, rel=1e-9)
+
+    @given(machine_strategy(), st.floats(min_value=1000, max_value=1e5))
+    @settings(max_examples=50)
+    def test_time_scales_as_inverse_p(self, m, n):
+        costs = ClassicalMatMulCosts()
+        M = min(m.memory_words, n**2 / 4)
+        p = costs.p_min(n, M)
+        if 4 * p > costs.p_max_perfect(n, M):
+            return  # range too narrow at this M
+        t1 = runtime(costs, m, n, p, M).total
+        t4 = runtime(costs, m, n, 4 * p, M).total
+        assert t4 == pytest.approx(t1 / 4, rel=1e-9)
+
+    def test_3d_energy_depends_on_p(self, machine):
+        # Outside the range (at the 3D limit) energy is NOT constant.
+        n = 1e4
+        e1 = energy_matmul_3d(machine, n, 64.0)
+        e2 = energy_matmul_3d(machine, n, 512.0)
+        assert e1 != pytest.approx(e2, rel=1e-6)
+
+
+class TestFFTEnergy:
+    def test_positive(self, machine):
+        assert energy_fft(machine, 2**20, 64.0) > 0
+
+    def test_matches_terms(self, machine):
+        n, p = 2.0**16, 16.0
+        g = machine
+        logn, logp = 16.0, 4.0
+        expected = (
+            (g.gamma_e + g.epsilon_e * g.gamma_t) * n * logn
+            + (g.alpha_e + g.epsilon_e * g.alpha_t) * p * logp
+            + (g.beta_e + g.epsilon_e * g.beta_t + g.delta_e * g.alpha_t) * n * logp
+            + g.delta_e * g.gamma_t * n**2 * logn / p
+            + g.delta_e * g.beta_t * n**2 * logp / p
+        )
+        assert energy_fft(g, n, p) == pytest.approx(expected, rel=1e-12)
+
+    def test_energy_grows_with_p_eventually(self, machine):
+        # p log p term: no perfect scaling.
+        n = 2.0**16
+        e_small = energy_fft(machine, n, 4.0)
+        e_huge = energy_fft(machine, n, 2.0**40)
+        assert e_huge > e_small
+
+    def test_invalid(self, machine):
+        with pytest.raises(ParameterError):
+            energy_fft(machine, 1.0, 4.0)

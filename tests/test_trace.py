@@ -1,0 +1,119 @@
+"""Tests for TraceReport: aggregation and model evaluation on measured
+counts."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.simmpi.counters import CounterSnapshot
+from repro.simmpi.engine import run_spmd
+from repro.simmpi.trace import TraceReport
+
+
+def snap(rank, flops=0.0, ws=0, ms=0, wr=0, mr=0, peak=0):
+    return CounterSnapshot(
+        rank=rank,
+        flops=flops,
+        words_sent=ws,
+        messages_sent=ms,
+        words_received=wr,
+        messages_received=mr,
+        mem_peak_words=peak,
+    )
+
+
+class TestAggregation:
+    def test_totals_and_maxima(self):
+        rep = TraceReport(
+            ranks=(
+                snap(0, flops=10, ws=5, ms=1, wr=7, mr=2, peak=100),
+                snap(1, flops=30, ws=7, ms=2, wr=5, mr=1, peak=50),
+            )
+        )
+        assert rep.size == 2
+        assert rep.total_flops == 40
+        assert rep.max_flops == 30
+        assert rep.total_words == 12
+        assert rep.max_words == 7
+        assert rep.total_messages == 3
+        assert rep.max_messages == 2
+        assert rep.max_mem_peak == 100
+
+    def test_conservation(self):
+        rep = TraceReport(ranks=(snap(0, ws=5, ms=1, wr=5, mr=1),))
+        assert rep.words_conserved()
+        rep2 = TraceReport(ranks=(snap(0, ws=5, ms=1, wr=4, mr=1),))
+        assert not rep2.words_conserved()
+
+    def test_summary_contains_key_fields(self):
+        rep = TraceReport(ranks=(snap(0, flops=10, ws=5, ms=1),))
+        s = rep.summary()
+        assert "p=1" in s and "W_max=5" in s
+
+
+class TestModelEvaluation:
+    def test_time_is_max_over_ranks(self, machine):
+        rep = TraceReport(
+            ranks=(snap(0, flops=1e6, ws=10, ms=1), snap(1, flops=1e9, ws=0, ms=0))
+        )
+        t = rep.estimate_time(machine)
+        assert t.total == pytest.approx(machine.gamma_t * 1e9)
+
+    def test_rank_time(self, machine):
+        rep = TraceReport(ranks=(snap(0, flops=100, ws=10, ms=1),))
+        t = rep.rank_time(machine, 0)
+        assert t.total == pytest.approx(
+            machine.gamma_t * 100 + machine.beta_t * 10 + machine.alpha_t
+        )
+
+    def test_energy_terms(self, machine):
+        rep = TraceReport(
+            ranks=(snap(0, flops=50, ws=10, ms=2), snap(1, flops=70, ws=4, ms=1))
+        )
+        T = rep.estimate_time(machine).total
+        e = rep.estimate_energy(machine, memory_words=1000.0)
+        assert e.compute == pytest.approx(machine.gamma_e * 120)
+        assert e.bandwidth == pytest.approx(machine.beta_e * 14)
+        assert e.latency == pytest.approx(machine.alpha_e * 3)
+        assert e.memory == pytest.approx(2 * machine.delta_e * 1000 * T)
+        assert e.leakage == pytest.approx(2 * machine.epsilon_e * T)
+
+    def test_energy_uses_measured_peak_memory_by_default(self, machine):
+        rep = TraceReport(ranks=(snap(0, flops=1, peak=77),))
+        e_default = rep.estimate_energy(machine)
+        e_explicit = rep.estimate_energy(machine, memory_words=77)
+        assert e_default.memory == pytest.approx(e_explicit.memory)
+
+    def test_energy_falls_back_to_machine_memory(self, machine):
+        rep = TraceReport(ranks=(snap(0, flops=1, peak=0),))
+        e = rep.estimate_energy(machine)
+        T = rep.estimate_time(machine).total
+        assert e.memory == pytest.approx(
+            machine.delta_e * machine.memory_words * T
+        )
+
+    def test_explicit_runtime(self, machine):
+        rep = TraceReport(ranks=(snap(0, flops=1),))
+        e = rep.estimate_energy(machine, memory_words=10, runtime_seconds=2.0)
+        assert e.memory == pytest.approx(machine.delta_e * 10 * 2.0)
+
+    def test_negative_memory_rejected(self, machine):
+        rep = TraceReport(ranks=(snap(0),))
+        with pytest.raises(ParameterError):
+            rep.estimate_energy(machine, memory_words=-1)
+
+
+class TestEndToEnd:
+    def test_memory_tracking_through_engine(self):
+        def prog(comm):
+            comm.allocate(500)
+            comm.allocate(300)
+            comm.release()
+            comm.allocate(100)
+
+        out = run_spmd(2, prog)
+        assert out.report.max_mem_peak == 800
+
+    def test_flops_through_engine(self):
+        out = run_spmd(3, lambda comm: comm.add_flops(7.5))
+        assert out.report.total_flops == pytest.approx(22.5)

@@ -1,0 +1,171 @@
+"""Tests for triangular solves and the end-to-end linear solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.lu import blocked_lu, lu_2d
+from repro.algorithms.trisolve import (
+    lu_solve,
+    lu_solve_2d,
+    trisolve_lower,
+    trisolve_lower_2d,
+    trisolve_upper,
+    trisolve_upper_2d,
+)
+from repro.core.parameters import MachineParameters
+from repro.exceptions import ParameterError, RankFailedError
+from repro.simmpi.engine import run_spmd
+
+MACHINE = MachineParameters(
+    gamma_t=1e-9, beta_t=1e-8, alpha_t=1e-6,
+    gamma_e=1e-9, beta_e=1e-8, alpha_e=0.0,
+    delta_e=1e-9, epsilon_e=0.0,
+    memory_words=1e9, max_message_words=1e9,
+)
+
+
+def dominant(n, rng):
+    return rng.standard_normal((n, n)) + n * np.eye(n)
+
+
+class TestSequentialTrisolve:
+    def test_lower_unit(self, rng):
+        n = 16
+        lo = np.tril(rng.standard_normal((n, n)), -1) + np.eye(n)
+        b = rng.standard_normal(n)
+        y = trisolve_lower(lo, b)
+        assert np.allclose(lo @ y, b)
+
+    def test_lower_nonunit(self, rng):
+        n = 16
+        lo = np.tril(rng.standard_normal((n, n)), -1) + 3 * np.eye(n)
+        b = rng.standard_normal(n)
+        y = trisolve_lower(lo, b, unit_diagonal=False)
+        assert np.allclose(lo @ y, b)
+
+    def test_upper(self, rng):
+        n = 16
+        up = np.triu(rng.standard_normal((n, n)), 1) + 3 * np.eye(n)
+        b = rng.standard_normal(n)
+        x = trisolve_upper(up, b)
+        assert np.allclose(up @ x, b)
+
+    def test_flops_quadratic(self, rng):
+        n = 32
+        up = np.triu(rng.standard_normal((n, n)), 1) + 3 * np.eye(n)
+        flops = []
+        trisolve_upper(up, rng.standard_normal(n), flop_counter=flops.append)
+        assert sum(flops) == pytest.approx(n * n, rel=0.1)
+
+    def test_singular_detected(self):
+        up = np.zeros((3, 3))
+        with pytest.raises(ParameterError):
+            trisolve_upper(up, np.ones(3))
+
+    def test_shape_validation(self):
+        with pytest.raises(ParameterError):
+            trisolve_lower(np.eye(3), np.ones(4))
+        with pytest.raises(ParameterError):
+            trisolve_lower(np.zeros((3, 4)), np.ones(3))
+
+
+class TestParallelTrisolve:
+    @pytest.mark.parametrize("p", [1, 4, 9, 16])
+    def test_forward(self, p, rng):
+        n = 24
+        a = dominant(n, rng)
+        b = rng.standard_normal(n)
+        lo_ref, _ = blocked_lu(a, block=8)
+        q = int(p**0.5)
+
+        def prog(comm):
+            lo_tile, _ = lu_2d(comm, a)
+            return trisolve_lower_2d(comm, lo_tile, b)
+
+        out = run_spmd(p, prog)
+        y_ref = trisolve_lower(lo_ref, b)
+        for r, res in enumerate(out.results):
+            i, j = divmod(r, q)
+            if i == j:
+                bs = n // q
+                assert np.allclose(res, y_ref[i * bs : (i + 1) * bs])
+            else:
+                assert res is None
+
+    @pytest.mark.parametrize("p", [4, 9])
+    def test_backward(self, p, rng):
+        n = 36
+        a = dominant(n, rng)
+        y = rng.standard_normal(n)
+        _, up_ref = blocked_lu(a, block=6)
+        q = int(p**0.5)
+
+        def prog(comm):
+            _, up_tile = lu_2d(comm, a)
+            return trisolve_upper_2d(comm, up_tile, y)
+
+        out = run_spmd(p, prog)
+        x_ref = trisolve_upper(up_ref, y)
+        bs = n // q
+        for r, res in enumerate(out.results):
+            i, j = divmod(r, q)
+            if i == j:
+                assert np.allclose(res, x_ref[i * bs : (i + 1) * bs])
+
+    def test_critical_path_grows_with_p(self, rng):
+        """Substitution is a pure chain: the virtual-clock time degrades
+        relative to the per-rank bound as p grows."""
+        n = 48
+        a = dominant(n, rng)
+        b = rng.standard_normal(n)
+
+        def prog(comm):
+            lo_tile, _ = lu_2d(comm, a)
+            trisolve_lower_2d(comm, lo_tile, b)
+
+        r4 = run_spmd(4, prog, machine=MACHINE).report
+        r16 = run_spmd(16, prog, machine=MACHINE).report
+        gap4 = r4.simulated_time / r4.estimate_time(MACHINE).total
+        gap16 = r16.simulated_time / r16.estimate_time(MACHINE).total
+        assert gap16 > gap4
+
+
+class TestLUSolve:
+    def test_sequential(self, rng):
+        n = 30
+        a = dominant(n, rng)
+        b = rng.standard_normal(n)
+        x = lu_solve(a, b, block=10)
+        assert np.allclose(a @ x, b)
+
+    @pytest.mark.parametrize("p", [1, 4, 9, 16])
+    def test_parallel_full_solution_everywhere(self, p, rng):
+        n = 24
+        a = dominant(n, rng)
+        b = rng.standard_normal(n)
+        out = run_spmd(p, lu_solve_2d, a, b)
+        for x in out.results:
+            assert np.allclose(a @ x, b)
+
+    def test_matches_numpy(self, rng):
+        n = 16
+        a = dominant(n, rng)
+        b = rng.standard_normal(n)
+        out = run_spmd(4, lu_solve_2d, a, b)
+        assert np.allclose(out.results[0], np.linalg.solve(a, b))
+
+    def test_rhs_validation(self, rng):
+        with pytest.raises(RankFailedError):
+            run_spmd(4, lu_solve_2d, dominant(8, rng), np.ones(9))
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=5, deadline=None)
+    def test_property_random_systems(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 16
+        a = dominant(n, rng)
+        b = rng.standard_normal(n)
+        out = run_spmd(4, lu_solve_2d, a, b)
+        assert np.allclose(a @ out.results[0], b)

@@ -1,0 +1,254 @@
+"""Tests for the two-level (Fig. 2) models and the power module."""
+
+import math
+
+import pytest
+
+from repro.core.costs import ClassicalMatMulCosts, NBodyCosts
+from repro.core.parameters import TwoLevelMachineParameters
+from repro.core.power import (
+    average_power,
+    max_p_under_total_power,
+    per_processor_power,
+)
+from repro.core.twolevel import (
+    TwoLevelCounts,
+    matmul_twolevel_energy,
+    matmul_twolevel_time,
+    nbody_twolevel_energy,
+    nbody_twolevel_time,
+    twolevel_energy_from_counts,
+    twolevel_time_from_counts,
+)
+from repro.exceptions import ParameterError
+
+
+def tl(**over):
+    base = dict(
+        gamma_t=1e-9, gamma_e=2e-9, epsilon_e=1e-4,
+        beta_t_node=1e-8, alpha_t_node=0.0,
+        beta_e_node=2e-8, alpha_e_node=0.0,
+        beta_t_core=1e-9, alpha_t_core=0.0,
+        beta_e_core=2e-9, alpha_e_core=0.0,
+        delta_e_node=1e-9, delta_e_core=1e-10,
+        memory_node=2.0**24, memory_core=2.0**14,
+        p_nodes=4, p_cores=8,
+    )
+    base.update(over)
+    return TwoLevelMachineParameters(**base)
+
+
+class TestMatmulTwoLevel:
+    def test_time_terms(self):
+        m = tl()
+        n = 1000.0
+        p = m.p_total
+        expected = (
+            m.gamma_t * n**3 / p
+            + m.beta_t_node * n**3 / (m.p_nodes * math.sqrt(m.memory_node))
+            + m.beta_t_core * n**3 / (p * math.sqrt(m.memory_core))
+        )
+        assert matmul_twolevel_time(m, n) == pytest.approx(expected)
+
+    def test_energy_terms_as_printed(self):
+        m = tl()
+        n = 500.0
+        pl = m.p_cores
+        mem = m.delta_e_node * m.memory_node / pl + m.delta_e_core * m.memory_core
+        expected = n**3 * (
+            m.gamma_e
+            + m.gamma_t * m.epsilon_e
+            + (m.beta_e_node + m.beta_t_node * m.epsilon_e)
+            / (pl * math.sqrt(m.memory_node))
+            + (m.beta_e_core + m.beta_t_core * m.epsilon_e) / math.sqrt(m.memory_core)
+            + m.gamma_t * mem
+            + mem
+            * (
+                m.beta_t_node * pl / math.sqrt(m.memory_node)
+                + m.beta_t_core / math.sqrt(m.memory_core)
+            )
+        )
+        assert matmul_twolevel_energy(m, n) == pytest.approx(expected)
+
+    def test_scales_cubically(self):
+        m = tl()
+        assert matmul_twolevel_time(m, 2000.0) == pytest.approx(
+            8 * matmul_twolevel_time(m, 1000.0)
+        )
+        assert matmul_twolevel_energy(m, 2000.0) == pytest.approx(
+            8 * matmul_twolevel_energy(m, 1000.0)
+        )
+
+    def test_energy_independent_of_p_nodes(self):
+        """Eq. (12) has no p_n dependence — the two-level analogue of
+        perfect strong scaling across nodes."""
+        n = 1000.0
+        e4 = matmul_twolevel_energy(tl(p_nodes=4), n)
+        e16 = matmul_twolevel_energy(tl(p_nodes=16), n)
+        assert e4 == pytest.approx(e16)
+
+    def test_time_scales_with_nodes(self):
+        n = 1000.0
+        t4 = matmul_twolevel_time(tl(p_nodes=4), n)
+        t16 = matmul_twolevel_time(tl(p_nodes=16), n)
+        assert t16 < t4
+
+    def test_invalid_n(self):
+        with pytest.raises(ParameterError):
+            matmul_twolevel_time(tl(), 0.0)
+
+
+class TestNBodyTwoLevel:
+    def test_time_terms(self):
+        m = tl()
+        n, f = 1e5, 10.0
+        p = m.p_total
+        expected = (
+            f * n**2 * m.gamma_t / p
+            + m.beta_t_node * n**2 / (m.memory_node * m.p_nodes)
+            + m.beta_t_core * n**2 / (m.memory_core * p)
+        )
+        assert nbody_twolevel_time(m, n, f) == pytest.approx(expected)
+
+    def test_energy_expansion_matches_printed_terms(self):
+        """Expanding our compact product form must reproduce the paper's
+        printed Eq. (17) term by term."""
+        m = tl()
+        n, f = 1e5, 10.0
+        pl = m.p_cores
+        printed = n**2 * (
+            # constant group
+            (
+                f * m.gamma_e
+                + f * m.gamma_t * m.epsilon_e
+                + m.delta_e_node * m.beta_t_node
+                + m.delta_e_core * m.beta_t_core
+            )
+            # 1/M_n group
+            + (pl * m.beta_e_node + m.epsilon_e * pl * m.beta_t_node) / m.memory_node
+            # 1/M_l group
+            + (m.beta_e_core + m.epsilon_e * m.beta_t_core) / m.memory_core
+            # f gamma_t memory terms
+            + m.delta_e_node * f * m.gamma_t * m.memory_node / pl
+            + m.delta_e_core * f * m.gamma_t * m.memory_core
+            # cross terms
+            + m.delta_e_node * m.beta_t_core * m.memory_node / (pl * m.memory_core)
+            + m.delta_e_core * pl * m.beta_t_node * m.memory_core / m.memory_node
+        )
+        assert nbody_twolevel_energy(m, n, f) == pytest.approx(printed, rel=1e-12)
+
+    def test_energy_independent_of_p_nodes(self):
+        n, f = 1e5, 5.0
+        assert nbody_twolevel_energy(tl(p_nodes=2), n, f) == pytest.approx(
+            nbody_twolevel_energy(tl(p_nodes=32), n, f)
+        )
+
+    def test_invalid_f(self):
+        with pytest.raises(ParameterError):
+            nbody_twolevel_time(tl(), 100.0, 0.0)
+
+
+class TestGenericComposition:
+    def test_counts_validation(self):
+        with pytest.raises(ParameterError):
+            TwoLevelCounts(flops=-1.0)
+
+    def test_time_composition(self):
+        m = tl()
+        c = TwoLevelCounts(
+            flops=1e6, words_node=1e3, messages_node=10, words_core=1e4,
+            messages_core=100,
+        )
+        expected = (
+            m.gamma_t * 1e6
+            + m.beta_t_node * 1e3
+            + m.alpha_t_node * 10
+            + m.beta_t_core * 1e4
+            + m.alpha_t_core * 100
+        )
+        assert twolevel_time_from_counts(m, c) == pytest.approx(expected)
+
+    def test_energy_composition(self):
+        m = tl()
+        c = TwoLevelCounts(flops=1e6, words_node=1e3, words_core=1e4)
+        T = twolevel_time_from_counts(m, c)
+        mem = m.delta_e_node * m.memory_node / m.p_cores + (
+            m.delta_e_core * m.memory_core
+        )
+        expected = m.p_total * (
+            m.gamma_e * 1e6
+            + m.beta_e_node * 1e3
+            + m.beta_e_core * 1e4
+            + (mem + m.epsilon_e) * T
+        )
+        assert twolevel_energy_from_counts(m, c) == pytest.approx(expected)
+
+    def test_nbody_eq17_consistent_with_composition(self):
+        """Eq. (17) equals the generic composition with per-core internode
+        traffic W_n = n^2/(M_n p_n) — the self-consistency the module
+        docstring claims."""
+        m = tl()
+        n, f = 1e5, 10.0
+        p = m.p_total
+        counts = TwoLevelCounts(
+            flops=f * n**2 / p,
+            words_node=n**2 / (m.memory_node * m.p_nodes),
+            words_core=n**2 / (m.memory_core * p),
+        )
+        assert nbody_twolevel_energy(m, n, f) == pytest.approx(
+            twolevel_energy_from_counts(m, counts), rel=1e-12
+        )
+
+
+class TestPower:
+    def test_average_power_is_E_over_T(self, machine):
+        costs = ClassicalMatMulCosts()
+        n, p = 1e4, 100.0
+        M = costs.memory_min(n, p) * 2
+        from repro.core.energy import energy
+        from repro.core.timing import runtime
+
+        expected = (
+            energy(costs, machine, n, p, M).total
+            / runtime(costs, machine, n, p, M).total
+        )
+        assert average_power(costs, machine, n, p, M) == pytest.approx(expected)
+
+    def test_per_processor_power(self, machine):
+        costs = NBodyCosts()
+        n, p, M = 1e5, 100.0, 5e3
+        assert per_processor_power(costs, machine, n, p, M) == pytest.approx(
+            average_power(costs, machine, n, p, M) / p
+        )
+
+    def test_per_processor_power_independent_of_p(self, machine):
+        """Inside the range, P/p depends only on M — the structural fact
+        Section V-E leans on."""
+        costs = NBodyCosts(interaction_flops=10.0)
+        n, M = 1e6, 1e4
+        p1 = per_processor_power(costs, machine, n, costs.p_min(n, M), M)
+        p2 = per_processor_power(costs, machine, n, costs.p_min(n, M) * 4, M)
+        assert p1 == pytest.approx(p2, rel=1e-9)
+
+    def test_power_linear_in_p(self, machine):
+        costs = NBodyCosts(interaction_flops=10.0)
+        n, M = 1e6, 1e4
+        p0 = costs.p_min(n, M)
+        pw1 = average_power(costs, machine, n, p0, M)
+        pw2 = average_power(costs, machine, n, 3 * p0, M)
+        assert pw2 == pytest.approx(3 * pw1, rel=1e-9)
+
+    def test_max_p_under_total_power(self, machine):
+        costs = NBodyCosts(interaction_flops=10.0)
+        n, M = 1e6, 1e4
+        p0 = costs.p_min(n, M)
+        p1w = average_power(costs, machine, n, p0, M) / p0
+        cap = max_p_under_total_power(costs, machine, n, M, total_power=10 * p0 * p1w)
+        assert cap == pytest.approx(
+            min(10 * p0, costs.p_max_perfect(n, M)), rel=1e-6
+        )
+
+    def test_max_p_infeasible(self, machine):
+        costs = NBodyCosts()
+        with pytest.raises(ParameterError):
+            max_p_under_total_power(costs, machine, 1e6, 1e4, total_power=1e-30)

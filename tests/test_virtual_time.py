@@ -1,0 +1,161 @@
+"""Tests for the virtual-clock (critical-path) runtime simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import MachineParameters
+from repro.simmpi.engine import run_spmd
+
+MACHINE = MachineParameters(
+    gamma_t=1e-9, beta_t=1e-8, alpha_t=1e-6,
+    gamma_e=1e-9, beta_e=1e-8, alpha_e=0.0,
+    delta_e=1e-9, epsilon_e=0.0,
+    memory_words=1e9, max_message_words=1e9,
+)
+
+
+class TestClockBasics:
+    def test_no_machine_no_clock(self):
+        out = run_spmd(2, lambda comm: comm.add_flops(100))
+        assert out.report.simulated_time == 0.0
+
+    def test_compute_advances_clock(self):
+        out = run_spmd(1, lambda comm: comm.add_flops(1000), machine=MACHINE)
+        assert out.report.simulated_time == pytest.approx(1e-6)
+
+    def test_send_costs_alpha_plus_beta(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100), 1)
+            else:
+                comm.recv(0)
+
+        out = run_spmd(2, prog, machine=MACHINE)
+        expected = MACHINE.alpha_t + 100 * MACHINE.beta_t
+        assert out.report.ranks[0].vtime == pytest.approx(expected)
+        # Receiver inherits the departure time, pays nothing extra.
+        assert out.report.ranks[1].vtime == pytest.approx(expected)
+
+    def test_message_chunking_costs_multiple_alphas(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(250), 1)
+            else:
+                comm.recv(0)
+
+        out = run_spmd(2, prog, machine=MACHINE, max_message_words=100)
+        expected = 3 * MACHINE.alpha_t + 250 * MACHINE.beta_t
+        assert out.report.ranks[0].vtime == pytest.approx(expected)
+
+    def test_receiver_not_stalled_by_early_message(self):
+        """A message sent at t=0 doesn't delay a receiver already past
+        that time."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, 1)
+            else:
+                comm.add_flops(10_000_000)  # 10 ms local work first
+                comm.recv(0)
+
+        out = run_spmd(2, prog, machine=MACHINE)
+        assert out.report.ranks[1].vtime == pytest.approx(1e-2)
+
+
+class TestCriticalPath:
+    def test_pipeline_chain_accumulates(self):
+        """rank r waits for rank r-1: the simulated time is the *sum* of
+        stage costs, which the per-rank-max estimate cannot see."""
+
+        def prog(comm):
+            if comm.rank > 0:
+                comm.recv(comm.rank - 1)
+            comm.add_flops(1000)
+            if comm.rank < comm.size - 1:
+                comm.send(np.zeros(10), comm.rank + 1)
+
+        p = 4
+        out = run_spmd(p, prog, machine=MACHINE)
+        stage = 1e-6
+        hop = MACHINE.alpha_t + 10 * MACHINE.beta_t
+        expected = p * stage + (p - 1) * hop
+        assert out.report.simulated_time == pytest.approx(expected)
+        # Per-rank-max underestimates the chain.
+        assert out.report.estimate_time(MACHINE).total < expected
+
+    def test_independent_ranks_run_in_parallel(self):
+        out = run_spmd(
+            8, lambda comm: comm.add_flops(1000), machine=MACHINE
+        )
+        assert out.report.simulated_time == pytest.approx(1e-6)
+
+    def test_lu_critical_path_exceeds_per_rank_max(self, rng):
+        """The paper's LU observation, measured: dependency chains make
+        the critical-path time exceed the per-rank-sum estimate."""
+        from repro.algorithms.lu import lu_2d
+
+        n = 48
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        out = run_spmd(16, lu_2d, a, machine=MACHINE)
+        assert out.report.simulated_time > out.report.estimate_time(MACHINE).total
+
+    def test_balanced_matmul_close_to_per_rank_max(self, rng):
+        """Cannon is bulk-synchronous and balanced: the critical path adds
+        little over the per-rank maximum."""
+        from repro.algorithms.cannon import cannon_matmul
+
+        n = 48
+        a = rng.standard_normal((n, n))
+        out = run_spmd(16, cannon_matmul, a, a, machine=MACHINE)
+        ratio = out.report.simulated_time / out.report.estimate_time(MACHINE).total
+        assert 1.0 <= ratio < 2.0
+
+    def test_barrier_synchronizes_clocks(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.add_flops(5_000_000)  # 5 ms head start for others to wait on
+            comm.barrier()
+            return comm.counter.vtime
+
+        out = run_spmd(4, prog, machine=MACHINE)
+        # After the barrier every clock is at least rank 0's work time.
+        assert all(v >= 5e-3 for v in out.results)
+
+    def test_strong_scaling_visible_in_simulated_time(self, rng):
+        """The headline theorem under the dependency-aware clock: more
+        processors with the same tiles -> smaller simulated time."""
+        from repro.algorithms.matmul25d import matmul_25d
+
+        n = 96
+        a = rng.standard_normal((n, n))
+        out1 = run_spmd(36, matmul_25d, a, a, 1, machine=MACHINE)
+        out2 = run_spmd(72, matmul_25d, a, a, 2, machine=MACHINE)
+        assert out2.report.simulated_time < out1.report.simulated_time
+
+
+class TestClockAndCountersCoexist:
+    def test_counts_unchanged_by_clock(self, rng):
+        from repro.algorithms.summa import summa_matmul
+
+        n = 24
+        a = rng.standard_normal((n, n))
+        plain = run_spmd(4, summa_matmul, a, a)
+        clocked = run_spmd(4, summa_matmul, a, a, machine=MACHINE)
+        assert plain.report.total_words == clocked.report.total_words
+        assert plain.report.total_flops == clocked.report.total_flops
+
+    def test_setup_traffic_costs_no_time(self):
+        def prog(comm):
+            comm.split(color=comm.rank % 2)
+            return comm.counter.vtime
+
+        out = run_spmd(4, prog, machine=MACHINE)
+        assert all(v == 0.0 for v in out.results)
+
+    def test_self_sendrecv_costs_no_time(self):
+        def prog(comm):
+            comm.sendrecv(np.zeros(10), dest=comm.rank, source=comm.rank)
+            return comm.counter.vtime
+
+        out = run_spmd(2, prog, machine=MACHINE)
+        assert all(v == 0.0 for v in out.results)

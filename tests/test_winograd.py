@@ -1,0 +1,76 @@
+"""Tests for the Strassen-Winograd variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.strassen import (
+    strassen_flop_count,
+    strassen_matmul,
+    winograd_flop_count,
+    winograd_matmul,
+)
+from repro.exceptions import ParameterError
+
+
+class TestWinograd:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 48, 56, 96])
+    def test_correct(self, n, rng):
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        assert np.allclose(winograd_matmul(a, b, cutoff=8), a @ b)
+
+    def test_agrees_with_strassen(self, rng):
+        n = 64
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        assert np.allclose(
+            winograd_matmul(a, b, cutoff=4), strassen_matmul(a, b, cutoff=4)
+        )
+
+    def test_flop_counter_matches_prediction(self, rng):
+        for n, cutoff in ((16, 4), (32, 8), (48, 8)):
+            a = rng.standard_normal((n, n))
+            flops = []
+            winograd_matmul(a, a, cutoff=cutoff, flop_counter=flops.append)
+            assert sum(flops) == pytest.approx(winograd_flop_count(n, cutoff))
+
+    def test_fewer_adds_than_strassen(self):
+        """15 vs 18 additions per level: Winograd strictly cheaper above
+        the cutoff, equal at the base case."""
+        assert winograd_flop_count(8, 8) == strassen_flop_count(8, 8)
+        for n in (16, 64, 256, 1024):
+            assert winograd_flop_count(n, 8) < strassen_flop_count(n, 8)
+
+    def test_add_count_difference_exact(self):
+        # One recursion level: difference = (18 - 15) h^2.
+        n, cutoff = 16, 8
+        h = n // 2
+        assert strassen_flop_count(n, cutoff) - winograd_flop_count(
+            n, cutoff
+        ) == pytest.approx(3.0 * h * h)
+
+    def test_same_exponent(self):
+        """Both recursions are Theta(n^log2 7): their ratio converges."""
+        r1 = winograd_flop_count(2048, 2) / strassen_flop_count(2048, 2)
+        r2 = winograd_flop_count(4096, 2) / strassen_flop_count(4096, 2)
+        assert abs(r1 - r2) < 0.01
+        assert 0.8 < r1 < 1.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ParameterError):
+            winograd_matmul(np.zeros((4, 4)), np.zeros((6, 6)))
+        with pytest.raises(ParameterError):
+            winograd_matmul(np.eye(7), np.eye(7), cutoff=4)
+        with pytest.raises(ParameterError):
+            winograd_matmul(np.eye(4), np.eye(4), cutoff=0)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_numpy_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 32
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        assert np.allclose(winograd_matmul(a, b, cutoff=4), a @ b)
