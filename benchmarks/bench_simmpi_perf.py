@@ -1,0 +1,172 @@
+"""Wall-clock benchmark of the simmpi execution substrate.
+
+Times the two optimization axes this repo's simulator exposes —
+
+* executor: per-call thread ``spawn`` (:func:`repro.simmpi.run_spmd`)
+  vs the persistent rank ``pool`` (:class:`repro.simmpi.SpmdPool`);
+* payload transport: legacy deep-``copy``-per-hop vs copy-on-write
+  (``cow``) frozen payloads —
+
+on a broadcast-heavy workload (the worst case for per-hop copying: a
+binomial tree moves the payload p-1 times per round) across
+p ∈ {16, 64, 256}, and emits a machine-readable ``BENCH_simmpi.json``
+so the perf trajectory is tracked PR over PR. The seed configuration is
+``spawn + copy``; the headline speedup compares it against
+``pool + cow`` at each p. Every configuration's per-rank counts are
+checked bit-identical before any timing is trusted.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_simmpi_perf.py
+    PYTHONPATH=src python benchmarks/bench_simmpi_perf.py \\
+        --words 131072 --rounds 2 --repeats 5 --output BENCH_simmpi.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.simmpi import SpmdPool, run_spmd
+
+SCHEMA = "bench_simmpi_perf/v1"
+DEFAULT_SIZES = (16, 64, 256)
+
+
+def bcast_heavy(comm, words: int, rounds: int) -> float:
+    """Each round: root broadcasts a ``words``-element array, every rank
+    folds it into a local checksum (so the buffer is actually read)."""
+    total = 0.0
+    for r in range(rounds):
+        data = np.full(words, float(r), dtype=np.float64) if comm.rank == 0 else None
+        got = comm.bcast(data, root=0)
+        total += float(np.asarray(got)[0]) + float(np.asarray(got)[-1])
+    return total
+
+
+def _time_config(
+    runner,
+    p: int,
+    words: int,
+    rounds: int,
+    repeats: int,
+    timeout: float,
+    payload_mode: str,
+):
+    """One (executor, payload_mode, p) cell: warmup + timed repeats.
+
+    Returns (times, result) where ``result`` is the warmup SpmdResult
+    used for the counts-identity check.
+    """
+    warmup = runner(
+        p, bcast_heavy, words, rounds, timeout=timeout, payload_mode=payload_mode
+    )
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        runner(
+            p, bcast_heavy, words, rounds, timeout=timeout, payload_mode=payload_mode
+        )
+        times.append(time.perf_counter() - start)
+    return times, warmup
+
+
+def run_benchmark(
+    sizes=DEFAULT_SIZES,
+    words: int = 1 << 16,
+    rounds: int = 3,
+    repeats: int = 3,
+    timeout: float = 120.0,
+) -> dict:
+    results = []
+    speedup = {}
+    counts_identical = True
+
+    with SpmdPool() as pool:
+        executors = {"spawn": run_spmd, "pool": pool.run}
+        for p in sizes:
+            cell_times = {}
+            signatures = {}
+            for exec_name, runner in executors.items():
+                for mode in ("copy", "cow"):
+                    times, out = _time_config(
+                        runner, p, words, rounds, repeats, timeout, mode
+                    )
+                    cell_times[(exec_name, mode)] = times
+                    signatures[(exec_name, mode)] = out.report.counts_signature()
+                    results.append(
+                        {
+                            "p": p,
+                            "executor": exec_name,
+                            "payload_mode": mode,
+                            "best_s": min(times),
+                            "median_s": statistics.median(times),
+                            "times_s": times,
+                        }
+                    )
+                    print(
+                        f"p={p:4d} {exec_name:5s}+{mode:4s} "
+                        f"best={min(times):.4f}s "
+                        f"median={statistics.median(times):.4f}s"
+                    )
+            baseline_sig = signatures[("spawn", "copy")]
+            if any(sig != baseline_sig for sig in signatures.values()):
+                counts_identical = False
+                print(f"p={p}: COUNTS DIVERGE ACROSS CONFIGURATIONS")
+            ratio = min(cell_times[("spawn", "copy")]) / min(
+                cell_times[("pool", "cow")]
+            )
+            speedup[str(p)] = ratio
+            print(f"p={p:4d} speedup (spawn+copy -> pool+cow): {ratio:.2f}x")
+
+    return {
+        "schema": SCHEMA,
+        "workload": {"kind": "bcast_heavy", "words": words, "rounds": rounds},
+        "repeats": repeats,
+        "results": results,
+        "speedup": speedup,
+        "counts_identical": counts_identical,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--words", type=int, default=1 << 16,
+                    help="payload elements per broadcast (default 65536)")
+    ap.add_argument("--rounds", type=int, default=3,
+                    help="broadcast rounds per run (default 3)")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timed repetitions per configuration (default 3)")
+    ap.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+                    help="rank counts to benchmark (default 16 64 256)")
+    ap.add_argument("--timeout", type=float, default=120.0,
+                    help="simulator deadlock watchdog seconds (default 120)")
+    ap.add_argument("--output", type=Path, default=Path("BENCH_simmpi.json"),
+                    help="where to write the JSON report")
+    args = ap.parse_args(argv)
+    if args.words < 1 or args.rounds < 1 or args.repeats < 1:
+        ap.error("--words, --rounds and --repeats must all be >= 1")
+    if any(p < 1 for p in args.sizes):
+        ap.error("--sizes entries must be >= 1")
+
+    report = run_benchmark(
+        sizes=tuple(args.sizes),
+        words=args.words,
+        rounds=args.rounds,
+        repeats=args.repeats,
+        timeout=args.timeout,
+    )
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not report["counts_identical"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

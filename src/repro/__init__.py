@@ -67,7 +67,7 @@ from repro.exceptions import (
     SimulationError,
 )
 from repro.algorithms import choose_replication, matmul, simulate_replicated
-from repro.simmpi import Comm, run_spmd
+from repro.simmpi import Comm, SpmdPool, run_spmd, shared_pool
 
 __version__ = "1.0.0"
 
@@ -99,6 +99,8 @@ __all__ = [
     # simulation
     "Comm",
     "run_spmd",
+    "SpmdPool",
+    "shared_pool",
     # high-level drivers and extensions
     "matmul",
     "choose_replication",

@@ -28,7 +28,7 @@ from repro.algorithms.matmul25d import matmul_25d
 from repro.algorithms.nbody import GRAVITY, ForceLaw, nbody_replicated
 from repro.core.parameters import MachineParameters
 from repro.exceptions import ParameterError
-from repro.simmpi.engine import run_spmd
+from repro.simmpi.pool import shared_pool
 
 __all__ = [
     "ScalingPoint",
@@ -107,7 +107,7 @@ def measure_strong_scaling_matmul(
         if q % c:
             raise ParameterError(f"q={q} must be divisible by every c (got c={c})")
         p = q * q * c
-        res = run_spmd(p, matmul_25d, a, b, c)
+        res = shared_pool().run(p, matmul_25d, a, b, c)
         rep = res.report
         t = rep.estimate_time(machine).total
         e = rep.estimate_energy(machine, memory_words=tile_words).total
@@ -150,7 +150,7 @@ def measure_strong_scaling_nbody(
         if r % c:
             raise ParameterError(f"r={r} must be divisible by every c (got c={c})")
         p = r * c
-        res = run_spmd(p, nbody_replicated, pos, q, c, law)
+        res = shared_pool().run(p, nbody_replicated, pos, q, c, law)
         rep = res.report
         t = rep.estimate_time(machine).total
         e = rep.estimate_energy(machine, memory_words=block_words).total
@@ -189,7 +189,7 @@ def measure_caps_bandwidth(
         for p in p_values:
             if p == 49 and n % 28:
                 continue
-            res = run_spmd(p, caps_matmul, a, b, 0)
+            res = shared_pool().run(p, caps_matmul, a, b, 0)
             rep = res.report
             out.append(
                 ScalingPoint(
@@ -222,7 +222,7 @@ def measure_fft_tradeoff(
     out: dict[str, list[ScalingPoint]] = {"naive": [], "bruck": []}
     for mode in ("naive", "bruck"):
         for p in p_values:
-            res = run_spmd(p, fft_parallel, x, mode)
+            res = shared_pool().run(p, fft_parallel, x, mode)
             rep = res.report
             out[mode].append(
                 ScalingPoint(
@@ -268,7 +268,7 @@ def measure_matmul_comparison(
     ]
     out = []
     for label, p, c, prog in runs:
-        rep = run_spmd(p, prog).report
+        rep = shared_pool().run(p, prog).report
         out.append(
             ScalingPoint(
                 label=label,
@@ -300,7 +300,7 @@ def measure_lu_latency(
     machine = _default_machine()
     out = []
     for p in p_values:
-        res = run_spmd(p, lu_2d, a)
+        res = shared_pool().run(p, lu_2d, a)
         rep = res.report
         out.append(
             ScalingPoint(

@@ -64,8 +64,6 @@ def matmul_optimal_memory(machine: MachineParameters) -> float:
     gamma_t make memory free (no finite optimum), mirroring
     :meth:`~repro.core.optimize.NBodyOptimizer.optimal_memory`.
     """
-    from repro.exceptions import InfeasibleError
-
     B = machine.comm_energy_per_word
     d_g = machine.delta_e * machine.gamma_t
     d_b = machine.delta_e * (
@@ -89,15 +87,19 @@ def matmul_optimal_memory(machine: MachineParameters) -> float:
     # span (raw coefficients can differ by 100+ orders of magnitude).
     s = (B / (2.0 * d_g)) ** (1.0 / 3.0)
     k = d_b * s * s / B
-    roots = np.roots([1.0, k, 0.0, -1.0])
-    real_pos = [
-        float(r.real)
-        for r in roots
-        if abs(r.imag) < 1e-9 * max(1.0, abs(r.real)) and r.real > 0
-    ]
-    if not real_pos:  # pragma: no cover - Descartes guarantees one
-        raise InfeasibleError("no positive root for the optimal-memory cubic")
-    u = s * min(real_pos)
+    if not math.isfinite(k):
+        # The cubic term is negligible beyond float range: the quadratic
+        # d_b u^2 = B limit applies (same as the d_g == 0 branch).
+        return max(1.0, B / d_b)
+    # f(t) = t^3 + k t^2 - 1 is strictly increasing on t > 0 (k >= 0)
+    # with f(0) = -1 and f(1) = k >= 0, so the unique positive root lies
+    # in (0, 1]. For large k it sits near t = k^{-1/2}; bracket a little
+    # below that and solve with Brent — unlike a companion-matrix
+    # eigensolve (np.roots), this cannot lose the root to rounding when
+    # k is huge (k ~ 1e49 arises from realistic machine constants).
+    lo = 0.5 * min(1.0, k**-0.5) if k > 0 else 0.0
+    t = float(_sciopt.brentq(lambda x: x * x * (x + k) - 1.0, lo, 1.0))
+    u = s * t
     # Less than one word of memory is not a physical operating point.
     return max(1.0, u * u)
 

@@ -24,7 +24,15 @@ from repro.simmpi.counters import CostCounter, CounterSnapshot
 from repro.simmpi.engine import SpmdResult, run_spmd
 from repro.simmpi.envelope import Envelope
 from repro.simmpi.mailbox import ANY_TAG, Mailbox
-from repro.simmpi.payload import copy_payload, message_count, payload_words
+from repro.simmpi.payload import (
+    FrozenPayload,
+    copy_payload,
+    freeze_payload,
+    materialize,
+    message_count,
+    payload_words,
+)
+from repro.simmpi.pool import SpmdPool, shared_pool
 from repro.simmpi.request import Request
 from repro.simmpi.trace import TraceReport
 from repro.simmpi.world import World
@@ -35,6 +43,8 @@ __all__ = [
     "factor_grid",
     "run_spmd",
     "SpmdResult",
+    "SpmdPool",
+    "shared_pool",
     "TraceReport",
     "CostCounter",
     "CounterSnapshot",
@@ -46,4 +56,7 @@ __all__ = [
     "payload_words",
     "copy_payload",
     "message_count",
+    "FrozenPayload",
+    "freeze_payload",
+    "materialize",
 ]

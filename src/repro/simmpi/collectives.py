@@ -36,7 +36,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.exceptions import CommunicatorError
-from repro.simmpi.payload import copy_payload
+from repro.simmpi.payload import copy_payload, freeze_payload
 
 __all__ = [
     "barrier",
@@ -59,6 +59,19 @@ def sum_op(acc: Any, inc: Any) -> Any:
     if isinstance(acc, np.ndarray):
         return acc + inc
     return acc + inc
+
+
+def _share(comm, obj: Any) -> Any:
+    """A rank's own contribution entering a collective's result.
+
+    In a copy-on-write world this freezes the payload *once* and hands
+    back a read-only view — the same aliasing contract receivers get —
+    so subsequent relay sends of the same data are adopted without any
+    further copy. Legacy copy worlds deep-copy, exactly as before.
+    """
+    if comm.copy_on_write:
+        return freeze_payload(obj).view()
+    return copy_payload(obj)
 
 
 def _vrank(rank: int, root: int, size: int) -> int:
@@ -98,12 +111,18 @@ def bcast(comm, obj: Any, root: int = 0, algorithm: str = "binomial") -> Any:
     p = comm.size
     _check_root(root, p)
     if p == 1:
-        return copy_payload(obj)
+        return _share(comm, obj)
     if algorithm == "scatter_allgather":
         return _bcast_scatter_allgather(comm, obj, root)
     if algorithm != "binomial":
         raise CommunicatorError(f"unknown bcast algorithm {algorithm!r}")
     me = _vrank(comm.rank, root, p)
+    if me == 0:
+        # Detach the result from the caller's buffer once, up front: in a
+        # CoW world this is the single freeze the whole tree shares (all
+        # of the root's sends adopt it), in a copy world it is the root's
+        # private copy the seed implementation made at the end.
+        obj = _share(comm, obj)
     mask = 1
     while mask < p:
         if me < mask:
@@ -113,7 +132,7 @@ def bcast(comm, obj: Any, root: int = 0, algorithm: str = "binomial") -> Any:
         elif me < 2 * mask:
             obj = comm.recv(_wrank(me - mask, root, p), tag=("_bcast", mask))
         mask <<= 1
-    return copy_payload(obj) if comm.rank == root else obj
+    return obj
 
 
 def _bcast_scatter_allgather(comm, obj: Any, root: int) -> Any:
@@ -294,13 +313,16 @@ def allgather(comm, obj: Any) -> list:
     """
     p = comm.size
     out: list = [None] * p
-    out[comm.rank] = copy_payload(obj)
+    # One freeze here is the only copy a CoW allgather pays: every ring
+    # forward of this block (and of the blocks received from the left,
+    # already frozen) is adopted without copying.
+    out[comm.rank] = _share(comm, obj)
     if p == 1:
         return out
     right = (comm.rank + 1) % p
     left = (comm.rank - 1) % p
     carrying = comm.rank
-    block = obj
+    block = out[comm.rank]
     for step in range(p - 1):
         comm.send(block, right, tag=("_allgather", step))
         block = comm.recv(left, tag=("_allgather", step))
@@ -317,7 +339,7 @@ def gather(comm, obj: Any, root: int = 0) -> list | None:
         comm.send(obj, root, tag="_gather")
         return None
     out: list = [None] * p
-    out[root] = copy_payload(obj)
+    out[root] = _share(comm, obj)
     for r in range(p):
         if r != root:
             out[r] = comm.recv(r, tag="_gather")
@@ -337,7 +359,7 @@ def scatter(comm, objs: Sequence[Any] | None, root: int = 0) -> Any:
         for r in range(p):
             if r != root:
                 comm.send(objs[r], r, tag="_scatter")
-        return copy_payload(objs[root])
+        return _share(comm, objs[root])
     return comm.recv(root, tag="_scatter")
 
 
@@ -354,7 +376,7 @@ def alltoall(comm, blocks: Sequence[Any]) -> list:
             f"alltoall needs one block per rank ({p}), got {len(blocks)}"
         )
     out: list = [None] * p
-    out[comm.rank] = copy_payload(blocks[comm.rank])
+    out[comm.rank] = _share(comm, blocks[comm.rank])
     for k in range(1, p):
         dest = (comm.rank + k) % p
         src = (comm.rank - k) % p
@@ -380,7 +402,9 @@ def alltoall_bruck(comm, blocks: Sequence[Any]) -> list:
             f"alltoall_bruck needs one block per rank ({p}), got {len(blocks)}"
         )
     # Phase 1: local rotation so slot j holds the block for relative rank j.
-    work: list = [copy_payload(blocks[(comm.rank + j) % p]) for j in range(p)]
+    # In a CoW world each block is frozen once here; the log p rounds of
+    # bulk re-shipping below then adopt the frozen buffers copy-free.
+    work: list = [_share(comm, blocks[(comm.rank + j) % p]) for j in range(p)]
     # Phase 2: log p exchange rounds.
     mask = 1
     rnd = 0

@@ -26,7 +26,12 @@ from repro.exceptions import CommunicatorError
 from repro.simmpi import collectives as _coll
 from repro.simmpi.envelope import Envelope
 from repro.simmpi.mailbox import NOTHING
-from repro.simmpi.payload import copy_payload, message_count, payload_words
+from repro.simmpi.payload import (
+    FrozenPayload,
+    copy_payload,
+    message_count,
+    payload_words,
+)
 from repro.simmpi.request import Request
 from repro.simmpi.world import World
 
@@ -75,6 +80,11 @@ class Comm:
         """This rank's cost counter (flops, words, messages, memory)."""
         return self._world.counters[self.world_rank]
 
+    @property
+    def copy_on_write(self) -> bool:
+        """True when this world uses copy-on-write payload transport."""
+        return self._world.copy_on_write
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Comm(rank={self._rank}/{self.size}, world_rank={self.world_rank}, "
@@ -108,9 +118,19 @@ class Comm:
         With a machine model set, the sender's clock advances by
         ``alpha_t * messages + beta_t * words`` and the message carries
         its departure time for the receiver's dependency tracking.
+
+        In copy-on-write mode (the world default) the payload is frozen
+        once here — relaying an already-frozen buffer costs no copy at
+        all — while legacy ``payload_mode="copy"`` deep-copies per hop.
+        The metered word count is identical either way.
         """
         self._check_peer(dest, "dest")
-        words = payload_words(obj)
+        if self._world.copy_on_write:
+            payload = FrozenPayload.freeze(obj)
+            words = payload.words
+        else:
+            payload = copy_payload(obj)
+            words = payload_words(obj)
         msgs = message_count(words, self._world.max_message_words)
         dest_world_rank = self._group[dest]
         internode = not self._world.same_node(self.world_rank, dest_world_rank)
@@ -122,7 +142,6 @@ class Comm:
                 machine.alpha_t * msgs + machine.beta_t * words
             )
             departure = self.counter.vtime
-        payload = copy_payload(obj)
         self._world.mailboxes[dest_world_rank].put(
             self.world_rank, self._context, tag, Envelope(payload, departure)
         )
@@ -145,13 +164,7 @@ class Comm:
             timeout=self._world.timeout,
             abort_check=self._world.failed.is_set,
         )
-        words = payload_words(env.payload)
-        msgs = message_count(words, self._world.max_message_words)
-        internode = not self._world.same_node(self.world_rank, src_world)
-        self.counter.add_recv(words, msgs, internode=internode)
-        if self._world.machine is not None and env.departure is not None:
-            self.counter.sync_clock(env.departure)
-        return env.payload
+        return self._open_envelope(env, src_world)
 
     def isend(self, obj: Any, dest: int, tag: Hashable = 0) -> Request:
         """Nonblocking send. Eager sends complete immediately; the
@@ -183,13 +196,7 @@ class Comm:
             return env is not NOTHING, env
 
         def finish(env):
-            words = payload_words(env.payload)
-            msgs = message_count(words, self._world.max_message_words)
-            internode = not self._world.same_node(self.world_rank, src_world)
-            self.counter.add_recv(words, msgs, internode=internode)
-            if self._world.machine is not None and env.departure is not None:
-                self.counter.sync_clock(env.departure)
-            return env.payload
+            return self._open_envelope(env, src_world)
 
         return Request(poll=poll, finish=finish)
 
@@ -208,6 +215,11 @@ class Comm:
         never touches the network.
         """
         if dest == source == self._rank and sendtag == recvtag:
+            if self._world.copy_on_write:
+                # Same aliasing contract as a real hop: the caller gets a
+                # read-only view, and relaying an already-frozen buffer
+                # (e.g. Cannon's displacement-0 corner) stays zero-copy.
+                return FrozenPayload.freeze(obj).view()
             return copy_payload(obj)
         self.send(obj, dest, tag=sendtag)
         return self.recv(source, tag=recvtag)
@@ -311,6 +323,27 @@ class Comm:
         return Comm(self._world, self._group, self._rank, context=context)
 
     # -- internals ---------------------------------------------------------
+
+    def _open_envelope(self, env: Envelope, src_world: int) -> Any:
+        """Meter an arrived envelope and unwrap its payload.
+
+        Frozen payloads report their cached word count and deliver
+        read-only views (no copy); legacy deep-copied payloads are
+        word-counted by traversal and handed over as-is (the receiver
+        owns them). Counts are identical in both modes.
+        """
+        payload = env.payload
+        if type(payload) is FrozenPayload:
+            words = payload.words
+            payload = payload.view()
+        else:
+            words = payload_words(payload)
+        msgs = message_count(words, self._world.max_message_words)
+        internode = not self._world.same_node(self.world_rank, src_world)
+        self.counter.add_recv(words, msgs, internode=internode)
+        if self._world.machine is not None and env.departure is not None:
+            self.counter.sync_clock(env.departure)
+        return payload
 
     def _allgather_unmetered(self, obj: Any) -> list:
         """Ring allgather that bypasses the cost counters (setup traffic

@@ -21,7 +21,7 @@ from repro.exceptions import ParameterError
 __all__ = ["CostCounter", "CounterSnapshot"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CounterSnapshot:
     """Immutable copy of a rank's tallies at the end of a run."""
 
@@ -59,9 +59,14 @@ class CounterSnapshot:
         return self.messages_sent
 
 
-@dataclass
+@dataclass(slots=True)
 class CostCounter:
-    """Mutable per-rank tallies, updated during an SPMD run."""
+    """Mutable per-rank tallies, updated during an SPMD run.
+
+    Deliberately lock-free: each counter is mutated only by its owning
+    rank's thread during the run, and snapshots are taken after join.
+    ``slots=True`` keeps the hot-path attribute access cheap and guards
+    against typo'd tally names."""
 
     rank: int
     flops: float = 0.0

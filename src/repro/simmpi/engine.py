@@ -9,11 +9,15 @@ on receives), and returns an :class:`SpmdResult` carrying each rank's
 return value plus the :class:`~repro.simmpi.trace.TraceReport` of
 measured costs.
 
-Threads (not processes) are the right substrate here: payload copies on
-send give us distributed-memory semantics, the workloads are
-NumPy-bound (GIL released inside BLAS), and determinism of the *counts*
-is guaranteed by the algorithms' fixed communication patterns, not by
-scheduling order.
+Threads (not processes) are the right substrate here: payload isolation
+at the send boundary gives us distributed-memory semantics, the
+workloads are NumPy-bound (GIL released inside BLAS), and determinism
+of the *counts* is guaranteed by the algorithms' fixed communication
+patterns, not by scheduling order.
+
+``run_spmd`` spawns fresh threads per call; for repeated runs (sweeps,
+benchmarks) use :class:`~repro.simmpi.pool.SpmdPool`, which keeps the
+worker threads alive and shares this module's failure handling.
 """
 
 from __future__ import annotations
@@ -45,6 +49,28 @@ class SpmdResult:
         return self.results[rank]
 
 
+def _finalize(
+    world: World,
+    results: list[Any],
+    failures: dict[int, BaseException],
+) -> SpmdResult:
+    """Convert joined-run state into an SpmdResult or RankFailedError.
+
+    Shared by :func:`run_spmd` and :class:`~repro.simmpi.pool.SpmdPool`
+    so both substrates report failures and build traces identically.
+    """
+    if failures:
+        # Deadlock/abort cascades on other ranks are secondary noise; report
+        # the primary failures (non-DeadlockError) first if any exist.
+        from repro.exceptions import DeadlockError
+
+        primary = {r: e for r, e in failures.items() if not isinstance(e, DeadlockError)}
+        raise RankFailedError(primary or failures)
+
+    report = TraceReport(ranks=tuple(c.snapshot() for c in world.counters))
+    return SpmdResult(results=tuple(results), report=report)
+
+
 def run_spmd(
     size: int,
     program: Callable[..., Any],
@@ -53,6 +79,7 @@ def run_spmd(
     timeout: float = 60.0,
     machine: Any = None,
     node_size: int | None = None,
+    payload_mode: str = "cow",
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``program(comm, *args, **kwargs)`` on ``size`` simulated ranks.
@@ -79,6 +106,11 @@ def run_spmd(
         ``node_size`` ranks form a node, and traffic crossing node
         boundaries is tallied separately (see
         :meth:`~repro.simmpi.trace.TraceReport.twolevel_counts`).
+    payload_mode:
+        ``"cow"`` (default) for copy-on-write payload transport or
+        ``"copy"`` for the legacy deep-copy-per-hop transport; counts
+        are identical, only physical copy traffic differs (see
+        :mod:`repro.simmpi.payload`).
 
     Raises
     ------
@@ -91,6 +123,7 @@ def run_spmd(
         timeout=timeout,
         machine=machine,
         node_size=node_size,
+        payload_mode=payload_mode,
     )
     results: list[Any] = [None] * size
     failures: dict[int, BaseException] = {}
@@ -114,13 +147,4 @@ def run_spmd(
     for t in threads:
         t.join()
 
-    if failures:
-        # Deadlock/abort cascades on other ranks are secondary noise; report
-        # the primary failures (non-DeadlockError) first if any exist.
-        from repro.exceptions import DeadlockError
-
-        primary = {r: e for r, e in failures.items() if not isinstance(e, DeadlockError)}
-        raise RankFailedError(primary or failures)
-
-    report = TraceReport(ranks=tuple(c.snapshot() for c in world.counters))
-    return SpmdResult(results=tuple(results), report=report)
+    return _finalize(world, results, failures)

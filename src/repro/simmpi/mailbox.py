@@ -6,17 +6,24 @@ models an infinitely buffered network — adequate because the paper's
 models charge per word/message, not for contention). Receives block
 until a matching message arrives, with a watchdog timeout that converts
 a hung wait into :class:`~repro.exceptions.DeadlockError` instead of a
-frozen test suite.
+frozen test suite. The watchdog tracks an *absolute* deadline: spurious
+condition-variable wake-ups (frequent at large rank counts, where many
+messages land in every mailbox) do not re-arm it.
 
 Matching is FIFO per (source, communicator context, tag) channel, like
 MPI's non-overtaking guarantee for point-to-point traffic on one
-communicator.
+communicator. Channels are indexed two-level — ``(source, context)``
+then ``tag`` — so the common concrete-tag receive is two dict hits with
+no ordering bookkeeping; only ``ANY_TAG`` receives pay for arrival-order
+resolution (a scan of the handful of pending tags, using per-message
+arrival stamps).
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
+from time import monotonic as _monotonic
 from typing import Any, Hashable
 
 from repro.exceptions import DeadlockError
@@ -31,21 +38,30 @@ ANY_TAG: object = object()
 class Mailbox:
     """Per-rank inbox with blocking, channel-matched receives."""
 
+    __slots__ = ("owner_rank", "_lock", "_ready", "_boxes", "_stamp")
+
     def __init__(self, owner_rank: int):
         self.owner_rank = owner_rank
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
-        # (source_world_rank, context_id, tag) -> FIFO of payloads
-        self._channels: dict[tuple[int, Hashable, Hashable], deque] = {}
-        # arrival order per (source, context) for ANY_TAG matching
-        self._order: dict[tuple[int, Hashable], deque] = {}
+        # (source_world_rank, context_id) -> {tag: FIFO of (stamp, payload)}
+        # Invariant: no empty deques or empty tag dicts are retained.
+        self._boxes: dict[tuple[int, Hashable], dict[Hashable, deque]] = {}
+        # Monotone arrival counter; stamps order messages for ANY_TAG.
+        self._stamp = 0
 
     def put(self, source: int, context: Hashable, tag: Hashable, payload: Any) -> None:
         """Deposit a message (called from the sender's thread)."""
+        key = (source, context)
         with self._ready:
-            key = (source, context, tag)
-            self._channels.setdefault(key, deque()).append(payload)
-            self._order.setdefault((source, context), deque()).append(tag)
+            box = self._boxes.get(key)
+            if box is None:
+                box = self._boxes[key] = {}
+            chan = box.get(tag)
+            if chan is None:
+                chan = box[tag] = deque()
+            self._stamp += 1
+            chan.append((self._stamp, payload))
             self._ready.notify_all()
 
     def get(
@@ -58,19 +74,16 @@ class Mailbox:
     ) -> Any:
         """Block until a matching message is available, then return it.
 
-        Raises :class:`DeadlockError` after ``timeout`` seconds without a
-        match — in a correctly synchronized SPMD program the only way a
-        receive waits that long is a deadlock or a peer crash. If
-        ``abort_check`` (a zero-argument callable) returns True after a
-        wake-up, the wait is abandoned immediately with
-        :class:`DeadlockError` — the engine uses this to cancel waits
-        when a peer rank fails.
+        Raises :class:`DeadlockError` once ``timeout`` seconds have
+        elapsed without a match — in a correctly synchronized SPMD
+        program the only way a receive waits that long is a deadlock or
+        a peer crash. The deadline is absolute: wake-ups for
+        non-matching traffic do not extend it. If ``abort_check`` (a
+        zero-argument callable) returns True after a wake-up, the wait
+        is abandoned immediately with :class:`DeadlockError` — the
+        engine uses this to cancel waits when a peer rank fails.
         """
-        deadline_msg = (
-            f"rank {self.owner_rank} timed out after {timeout}s waiting for a "
-            f"message from rank {source} (context={context!r}, tag={tag!r}); "
-            "likely deadlock or peer failure"
-        )
+        deadline = _monotonic() + timeout
         with self._ready:
             while True:
                 payload = self._try_pop(source, context, tag)
@@ -81,33 +94,37 @@ class Mailbox:
                         f"rank {self.owner_rank}: receive abandoned because a "
                         "peer rank failed"
                     )
-                if not self._ready.wait(timeout=timeout):
-                    raise DeadlockError(deadline_msg)
+                remaining = deadline - _monotonic()
+                if remaining <= 0 or not self._ready.wait(timeout=remaining):
+                    # One final look: the message may have landed between
+                    # the timeout expiring and us reacquiring the lock.
+                    payload = self._try_pop(source, context, tag)
+                    if payload is not _NOTHING:
+                        return payload
+                    raise DeadlockError(
+                        f"rank {self.owner_rank} timed out after {timeout}s "
+                        f"waiting for a message from rank {source} "
+                        f"(context={context!r}, tag={tag!r}); likely deadlock "
+                        "or peer failure"
+                    )
 
     def _try_pop(self, source: int, context: Hashable, tag: Hashable) -> Any:
-        if tag is ANY_TAG:
-            order = self._order.get((source, context))
-            if not order:
-                return _NOTHING
-            actual_tag = order[0]
-            key = (source, context, actual_tag)
-        else:
-            key = (source, context, tag)
-        chan = self._channels.get(key)
-        if not chan:
+        key = (source, context)
+        box = self._boxes.get(key)
+        if not box:
             return _NOTHING
-        payload = chan.popleft()
-        # maintain the arrival-order index
-        order = self._order.get((source, context))
-        if order is not None:
-            try:
-                order.remove(key[2]) if tag is ANY_TAG else order.remove(tag)
-            except ValueError:
-                pass
-            if not order:
-                del self._order[(source, context)]
+        if tag is ANY_TAG:
+            # Oldest message across this (source, context)'s pending tags.
+            tag, chan = min(box.items(), key=lambda item: item[1][0][0])
+        else:
+            chan = box.get(tag)
+            if chan is None:
+                return _NOTHING
+        _stamp, payload = chan.popleft()
         if not chan:
-            del self._channels[key]
+            del box[tag]
+            if not box:
+                del self._boxes[key]
         return payload
 
     def try_get(self, source: int, context: Hashable, tag: Hashable):
@@ -119,7 +136,7 @@ class Mailbox:
     def pending(self) -> int:
         """Number of undelivered messages (diagnostics)."""
         with self._lock:
-            return sum(len(c) for c in self._channels.values())
+            return sum(len(c) for box in self._boxes.values() for c in box.values())
 
     def interrupt(self) -> None:
         """Wake all blocked receivers (engine uses this on rank failure)."""

@@ -1,0 +1,237 @@
+"""Persistent rank-pool executor for repeated SPMD runs.
+
+:func:`~repro.simmpi.engine.run_spmd` spawns and joins ``p`` fresh OS
+threads on every call. That is fine for a single run but dominates
+wall-clock time for sweeps and benchmarks that execute hundreds of
+small simulations (a validation sweep at p = 256 pays 256 spawns+joins
+*per data point*). :class:`SpmdPool` keeps a set of daemon worker
+threads alive across runs: each :meth:`SpmdPool.run` call dispatches
+the program to the first ``size`` workers through per-worker queues and
+waits on a countdown latch, so steady-state cost per run is one queue
+put/get per rank instead of a thread spawn/join.
+
+Semantics are identical to ``run_spmd`` — same ``World`` construction,
+same failure handling (shared via :func:`~repro.simmpi.engine._finalize`),
+same :class:`~repro.simmpi.engine.SpmdResult` — and the counts are
+bit-identical because the substrate never touches metering.
+
+Usage::
+
+    with SpmdPool() as pool:
+        for p in (16, 64, 256):
+            out = pool.run(p, program, *args)
+
+Runs are serialized: every rank of a simulation blocks synchronously in
+its worker, so a ``size``-rank run needs ``size`` live workers and two
+concurrent runs would deadlock sharing them. The pool grows on demand
+to the largest ``size`` seen and a pool-level lock enforces one run at
+a time. :func:`shared_pool` returns a process-wide pool for callers
+(validation sweeps, benchmarks) that want reuse without plumbing a pool
+object through their call stacks.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+from typing import Any, Callable
+
+from repro.simmpi.comm import Comm
+from repro.simmpi.engine import SpmdResult, _finalize
+from repro.simmpi.world import World
+
+__all__ = ["SpmdPool", "shared_pool"]
+
+
+class _Latch:
+    """Countdown latch: ``wait()`` returns once ``count_down()`` has been
+    called ``n`` times."""
+
+    __slots__ = ("_remaining", "_cond")
+
+    def __init__(self, n: int):
+        self._remaining = n
+        self._cond = threading.Condition()
+
+    def count_down(self) -> None:
+        with self._cond:
+            self._remaining -= 1
+            if self._remaining <= 0:
+                self._cond.notify_all()
+
+    def wait(self) -> None:
+        with self._cond:
+            while self._remaining > 0:
+                self._cond.wait()
+
+
+class SpmdPool:
+    """Reusable pool of rank workers for running SPMD programs.
+
+    Parameters
+    ----------
+    initial_workers:
+        Workers to start eagerly (the pool still grows on demand).
+
+    The pool is a context manager; leaving the ``with`` block shuts the
+    workers down. A pool survives failed runs — a program raising in
+    some ranks produces the usual
+    :class:`~repro.exceptions.RankFailedError` and the pool remains
+    usable for the next :meth:`run`.
+    """
+
+    def __init__(self, initial_workers: int = 0):
+        if initial_workers < 0:
+            raise ValueError(
+                f"initial_workers must be >= 0, got {initial_workers}"
+            )
+        self._queues: list[queue.SimpleQueue] = []
+        self._threads: list[threading.Thread] = []
+        self._run_lock = threading.Lock()  # serializes run()s
+        self._state_lock = threading.Lock()  # guards grow/shutdown
+        self._closed = False
+        if initial_workers:
+            self._grow(initial_workers)
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Number of live worker threads."""
+        return len(self._threads)
+
+    def __enter__(self) -> "SpmdPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop all workers. Idempotent; the pool is unusable afterwards."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for q in self._queues:
+                q.put(None)  # wake + exit sentinel
+        for t in self._threads:
+            t.join()
+
+    def _grow(self, target: int) -> None:
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("SpmdPool is shut down")
+            while len(self._threads) < target:
+                idx = len(self._threads)
+                q: queue.SimpleQueue = queue.SimpleQueue()
+                t = threading.Thread(
+                    target=_worker_loop,
+                    args=(q,),
+                    name=f"simmpi-pool-{idx}",
+                    daemon=True,
+                )
+                self._queues.append(q)
+                self._threads.append(t)
+                t.start()
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        size: int,
+        program: Callable[..., Any],
+        *args: Any,
+        max_message_words: float = math.inf,
+        timeout: float = 60.0,
+        machine: Any = None,
+        node_size: int | None = None,
+        payload_mode: str = "cow",
+        **kwargs: Any,
+    ) -> SpmdResult:
+        """Run ``program(comm, *args, **kwargs)`` on ``size`` pooled ranks.
+
+        Drop-in equivalent of :func:`~repro.simmpi.engine.run_spmd` —
+        identical signature, results, trace counts, and failure
+        behavior — minus the per-call thread spawn/join.
+        """
+        world = World(
+            size,
+            max_message_words=max_message_words,
+            timeout=timeout,
+            machine=machine,
+            node_size=node_size,
+            payload_mode=payload_mode,
+        )
+        results: list[Any] = [None] * size
+        failures: dict[int, BaseException] = {}
+        failures_lock = threading.Lock()
+
+        with self._run_lock:
+            self._grow(size)
+            latch = _Latch(size)
+            job = _Job(
+                world=world,
+                program=program,
+                args=args,
+                kwargs=kwargs,
+                results=results,
+                failures=failures,
+                failures_lock=failures_lock,
+                latch=latch,
+            )
+            for rank in range(size):
+                self._queues[rank].put((rank, job))
+            latch.wait()
+
+        return _finalize(world, results, failures)
+
+
+class _Job:
+    """One SPMD run's shared state, handed to each participating worker."""
+
+    __slots__ = (
+        "world",
+        "program",
+        "args",
+        "kwargs",
+        "results",
+        "failures",
+        "failures_lock",
+        "latch",
+    )
+
+    def __init__(self, **fields: Any):
+        for name, value in fields.items():
+            setattr(self, name, value)
+
+
+def _worker_loop(q: queue.SimpleQueue) -> None:
+    while True:
+        item = q.get()
+        if item is None:
+            return
+        rank, job = item
+        comm = Comm(job.world, group=range(job.world.size), rank=rank)
+        try:
+            job.results[rank] = job.program(comm, *job.args, **job.kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with job.failures_lock:
+                job.failures[rank] = exc
+            job.world.abort()
+        finally:
+            job.latch.count_down()
+
+
+_shared_pool: SpmdPool | None = None
+_shared_pool_lock = threading.Lock()
+
+
+def shared_pool() -> SpmdPool:
+    """The process-wide pool (created lazily, never shut down — workers
+    are daemons, so process exit reaps them)."""
+    global _shared_pool
+    with _shared_pool_lock:
+        if _shared_pool is None:
+            _shared_pool = SpmdPool()
+        return _shared_pool

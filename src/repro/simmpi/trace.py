@@ -113,6 +113,22 @@ class TraceReport:
     def total_messages_received(self) -> int:
         return sum(r.messages_received for r in self.ranks)
 
+    def counts_signature(self) -> tuple:
+        """Per-rank (flops, words_sent, messages_sent, words_received,
+        messages_received) tuples — a compact fingerprint for asserting
+        two runs produced bit-identical counts (e.g. copy-on-write vs
+        deep-copy payload transport)."""
+        return tuple(
+            (
+                r.flops,
+                r.words_sent,
+                r.messages_sent,
+                r.words_received,
+                r.messages_received,
+            )
+            for r in self.ranks
+        )
+
     def words_conserved(self) -> bool:
         """Every sent word was received (no lost traffic)."""
         return (

@@ -2,7 +2,8 @@
 
 A :class:`World` owns the mailboxes, cost counters and configuration
 shared by all ranks of an SPMD execution. It is created by
-:func:`repro.simmpi.engine.run_spmd` and never touched by user code
+:func:`repro.simmpi.engine.run_spmd` (or by
+:meth:`repro.simmpi.pool.SpmdPool.run`) and never touched by user code
 directly — algorithms see only their :class:`~repro.simmpi.comm.Comm`.
 """
 
@@ -15,6 +16,9 @@ from repro.simmpi.counters import CostCounter
 from repro.simmpi.mailbox import Mailbox
 
 __all__ = ["World"]
+
+#: Valid payload transport modes (see :mod:`repro.simmpi.payload`).
+PAYLOAD_MODES = ("cow", "copy")
 
 
 class World:
@@ -35,6 +39,16 @@ class World:
         given, each rank carries a virtual clock advanced by the Eq. (1)
         cost of its operations, yielding a critical-path runtime
         estimate (see :mod:`repro.simmpi.envelope`).
+    node_size:
+        Optional two-level grouping (Fig. 2): consecutive blocks of
+        ``node_size`` ranks form a node; traffic crossing node
+        boundaries is tallied separately.
+    payload_mode:
+        ``"cow"`` (default) — copy-on-write transport: payloads are
+        frozen once at the first send and shared read-only by relays and
+        receivers (see :class:`~repro.simmpi.payload.FrozenPayload`).
+        ``"copy"`` — the historical deep-copy-per-hop transport.
+        Word/message counts are identical in both modes.
     """
 
     def __init__(
@@ -44,6 +58,7 @@ class World:
         timeout: float = 60.0,
         machine=None,
         node_size: int | None = None,
+        payload_mode: str = "cow",
     ):
         if size < 1:
             raise ValueError(f"world size must be >= 1, got {size}")
@@ -53,6 +68,10 @@ class World:
             )
         if timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
+        if payload_mode not in PAYLOAD_MODES:
+            raise ValueError(
+                f"payload_mode must be one of {PAYLOAD_MODES}, got {payload_mode!r}"
+            )
         self.size = size
         self.max_message_words = float(max_message_words)
         self.timeout = float(timeout)
@@ -66,6 +85,9 @@ class World:
         #: r // node_size share a node; traffic crossing nodes is
         #: tallied separately.
         self.node_size = node_size
+        self.payload_mode = payload_mode
+        #: True when sends freeze payloads instead of deep-copying them
+        self.copy_on_write = payload_mode == "cow"
         self.mailboxes = [Mailbox(r) for r in range(size)]
         self.counters = [CostCounter(rank=r) for r in range(size)]
         #: set once any rank raises; receivers poll it via interrupt()
@@ -79,7 +101,14 @@ class World:
         return rank_a // self.node_size == rank_b // self.node_size
 
     def abort(self) -> None:
-        """Mark the run failed and wake every blocked receiver."""
+        """Mark the run failed and wake every blocked receiver.
+
+        Idempotent: concurrent failures pay the mailbox notification
+        sweep only once (the first caller wins; later calls see the
+        flag already set and return immediately).
+        """
+        if self.failed.is_set():
+            return
         self.failed.set()
         for box in self.mailboxes:
             box.interrupt()

@@ -7,13 +7,18 @@ and messages, deterministic counts across repeated runs, and clock
 monotonicity under the virtual-time model.
 """
 
+import os
+
 import numpy as np
-import pytest
-from hypothesis import given, settings
+from hypothesis import given, seed, settings
 from hypothesis import strategies as st
 
 from repro.core.parameters import MachineParameters
 from repro.simmpi.engine import run_spmd
+
+# Deterministic Hypothesis seed so fuzz failures reproduce in CI; override
+# with REPRO_FUZZ_SEED=<int> to explore a different corner of the space.
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20130527"))
 
 MACHINE = MachineParameters(
     gamma_t=1e-9, beta_t=1e-8, alpha_t=1e-6,
@@ -72,6 +77,7 @@ def run_schedule(comm, schedule):
 
 
 class TestScheduleFuzz:
+    @seed(FUZZ_SEED)
     @given(st.integers(min_value=1, max_value=6), op_strategy)
     @settings(max_examples=25, deadline=None)
     def test_conservation_and_agreement(self, p, schedule):
@@ -83,6 +89,7 @@ class TestScheduleFuzz:
         # finite numbers.
         assert all(np.isfinite(v) for v in out.results)
 
+    @seed(FUZZ_SEED)
     @given(st.integers(min_value=2, max_value=5), op_strategy)
     @settings(max_examples=10, deadline=None)
     def test_counts_deterministic(self, p, schedule):
@@ -93,6 +100,7 @@ class TestScheduleFuzz:
             assert ra.messages_sent == rb.messages_sent
             assert ra.flops == rb.flops
 
+    @seed(FUZZ_SEED)
     @given(st.integers(min_value=2, max_value=5), op_strategy)
     @settings(max_examples=10, deadline=None)
     def test_virtual_clocks_nonnegative_and_consistent(self, p, schedule):
@@ -105,6 +113,7 @@ class TestScheduleFuzz:
         ]
         assert out.report.simulated_time >= max(own) * (1 - 1e-12)
 
+    @seed(FUZZ_SEED)
     @given(
         st.integers(min_value=2, max_value=5),
         op_strategy,
@@ -121,6 +130,7 @@ class TestScheduleFuzz:
 
 
 class TestCollectiveValueAgreement:
+    @seed(FUZZ_SEED)
     @given(
         st.integers(min_value=1, max_value=7),
         st.integers(min_value=1, max_value=30),
@@ -139,6 +149,7 @@ class TestCollectiveValueAgreement:
         for got in out.results:
             assert np.allclose(got, expected)
 
+    @seed(FUZZ_SEED)
     @given(
         st.integers(min_value=1, max_value=6),
         st.integers(min_value=0, max_value=1000),

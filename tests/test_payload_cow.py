@@ -1,0 +1,223 @@
+"""Copy-on-write payload transport: freeze/view/materialize semantics,
+aliasing safety across point-to-point and collectives, and count
+bit-identity against the legacy deep-copy transport."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CommunicatorError
+from repro.simmpi import (
+    FrozenPayload,
+    copy_payload,
+    freeze_payload,
+    materialize,
+    payload_words,
+    run_spmd,
+)
+
+
+class WordyThing:
+    """Payload exposing the __payload_words__ hook."""
+
+    def __init__(self, words=3):
+        self._words = words
+
+    def __payload_words__(self):
+        return self._words
+
+
+class TestFrozenPayload:
+    def test_freeze_snapshots_and_is_read_only(self):
+        src = np.arange(6, dtype=float)
+        frozen = freeze_payload(src)
+        src[:] = -1  # later sender mutation must not leak into the snapshot
+        view = frozen.view()
+        assert np.array_equal(view, [0, 1, 2, 3, 4, 5])
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[:] = 0
+
+    def test_words_cached_and_consistent(self):
+        obj = {"a": np.zeros((3, 4)), "b": [1, 2.5, np.float64(1.0)]}
+        frozen = freeze_payload(obj)
+        assert frozen.words == payload_words(obj)
+        assert payload_words(frozen) == frozen.words
+
+    def test_freeze_is_idempotent(self):
+        frozen = freeze_payload(np.arange(4))
+        assert FrozenPayload.freeze(frozen) is frozen
+
+    def test_refreezing_a_delivered_view_does_not_copy(self):
+        frozen = freeze_payload(np.arange(8))
+        view = frozen.view()
+        refrozen = freeze_payload(view)
+        assert np.shares_memory(refrozen.view(), view)
+
+    def test_user_read_only_array_is_still_copied(self):
+        # A read-only array the *user* froze could be flipped writable
+        # again through its base, so it must not be adopted.
+        arr = np.arange(5)
+        arr.flags.writeable = False
+        frozen = freeze_payload(arr)
+        assert not np.shares_memory(frozen.view(), arr)
+
+    def test_materialize_copies_only_read_only_data(self):
+        frozen = freeze_payload(np.arange(4))
+        view = frozen.view()
+        mat = materialize(view)
+        assert mat.flags.writeable
+        assert not np.shares_memory(mat, view)
+        writable = np.arange(4)
+        assert materialize(writable) is writable
+
+    def test_materialize_recurses_into_containers(self):
+        frozen = freeze_payload({"x": [np.arange(3), 7]})
+        out = materialize(frozen)
+        out["x"][0][:] = -1
+        assert np.array_equal(out["x"][0], [-1, -1, -1])
+
+    def test_scalars_and_strings_pass_through(self):
+        for obj in (None, True, 3, 2.5, 1 + 2j, "hi", b"raw"):
+            assert freeze_payload(obj).view() == obj if obj is not None else True
+
+    def test_hook_payloads_are_deep_copied_per_freeze(self):
+        thing = WordyThing()
+        frozen = freeze_payload(thing)
+        assert frozen.words == 3
+        assert frozen.view() is not thing
+
+
+class TestRejectUnknownTypes:
+    """copy_payload and payload_words reject the same types."""
+
+    def test_both_reject_plain_objects(self):
+        with pytest.raises(CommunicatorError):
+            payload_words(object())
+        with pytest.raises(CommunicatorError):
+            copy_payload(object())
+        with pytest.raises(CommunicatorError):
+            freeze_payload(object())
+
+    def test_both_accept_hook_objects(self):
+        thing = WordyThing(words=9)
+        assert payload_words(thing) == 9
+        assert copy_payload(thing) is not thing
+
+
+def _counts(report):
+    return report.counts_signature()
+
+
+class TestAliasingSafety:
+    """A receiver can never corrupt the sender or sibling receivers."""
+
+    def test_send_then_sender_mutation_invisible_to_receiver(self):
+        def prog(comm):
+            if comm.rank == 0:
+                data = np.arange(4, dtype=float)
+                comm.send(data, 1)
+                data[:] = -1  # after the send: must not reach rank 1
+                comm.barrier()
+                return None
+            buf = comm.recv(0)
+            comm.barrier()
+            return buf.copy()
+
+        out = run_spmd(2, prog)
+        assert np.array_equal(out.results[1], [0, 1, 2, 3])
+
+    def test_bcast_receiver_mutation_invisible_to_all(self):
+        def prog(comm):
+            data = np.arange(8, dtype=float) if comm.rank == 0 else None
+            got = comm.bcast(data, root=0)
+            if comm.rank == 2:
+                mine = materialize(got)
+                mine[:] = -99
+            comm.barrier()
+            return np.asarray(got).sum()
+
+        out = run_spmd(4, prog)
+        assert all(r == 28.0 for r in out.results)
+
+    def test_allgather_sibling_mutation_invisible(self):
+        def prog(comm):
+            blocks = comm.allgather(np.full(4, comm.rank, dtype=float))
+            if comm.rank == 1:
+                corrupted = materialize(blocks[0])
+                corrupted[:] = 1e9
+            comm.barrier()
+            return [b.sum() for b in blocks]
+
+        out = run_spmd(4, prog)
+        for sums in out.results:
+            assert sums == [0.0, 4.0, 8.0, 12.0]
+
+    def test_received_view_writes_raise(self):
+        def prog(comm):
+            got = comm.bcast(np.arange(4) if comm.rank == 0 else None, root=0)
+            if comm.rank != 0:
+                with pytest.raises(ValueError):
+                    got[0] = 5
+            return int(np.asarray(got)[0])
+
+        out = run_spmd(4, prog)
+        assert all(r == 0 for r in out.results)
+
+
+class TestCountsBitIdentical:
+    """CoW and deep-copy transports must meter exactly the same F/W/S."""
+
+    def _compare(self, size, program, *args, **kwargs):
+        cow = run_spmd(size, program, *args, payload_mode="cow", **kwargs)
+        copy = run_spmd(size, program, *args, payload_mode="copy", **kwargs)
+        assert _counts(cow.report) == _counts(copy.report)
+        for got_cow, got_copy in zip(cow.results, copy.results):
+            np.testing.assert_array_equal(
+                np.asarray(got_cow), np.asarray(got_copy)
+            )
+        return cow
+
+    def test_cannon(self):
+        from repro.algorithms.cannon import cannon_matmul
+
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        self._compare(4, cannon_matmul, a, b)
+
+    def test_summa(self):
+        from repro.algorithms.summa import summa_matmul
+
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        self._compare(4, summa_matmul, a, b)
+
+    def test_matmul_25d(self):
+        from repro.algorithms.matmul25d import matmul_25d
+
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        self._compare(8, matmul_25d, a, b, 2)
+
+    def test_caps(self):
+        from repro.algorithms.caps import caps_assemble, caps_matmul
+
+        rng = np.random.default_rng(10)
+        n = 14
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        cow = self._compare(7, caps_matmul, a, b, 0)
+        c = caps_assemble(list(cow.results), n, 7, 0)
+        assert np.allclose(c, a @ b)
+
+    def test_collective_mix(self):
+        def prog(comm):
+            v = comm.bcast(np.arange(16.0) if comm.rank == 0 else None)
+            s = comm.allreduce(float(np.asarray(v).sum()))
+            parts = comm.allgather(np.full(2, comm.rank))
+            comm.barrier()
+            return s + sum(p.sum() for p in parts)
+
+        self._compare(8, prog)

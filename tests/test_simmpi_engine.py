@@ -84,7 +84,45 @@ class TestPointToPoint:
 
     def test_receiver_gets_a_copy(self):
         """Distributed-memory semantics: mutating a received buffer must
-        not corrupt the sender's array."""
+        not corrupt the sender's array. Under copy-on-write transport the
+        receiver materializes a private copy before writing."""
+        from repro.simmpi import materialize
+
+        src = np.arange(4)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(src, 1)
+                comm.barrier()
+                return src.copy()
+            buf = materialize(comm.recv(0))
+            buf[:] = -1
+            comm.barrier()
+            return buf
+
+        out = run_spmd(2, prog)
+        assert np.array_equal(out.results[0], [0, 1, 2, 3])
+        assert np.array_equal(out.results[1], [-1, -1, -1, -1])
+
+    def test_received_buffer_is_read_only_under_cow(self):
+        """CoW receives deliver read-only views: writing without
+        materialize() raises instead of silently aliasing."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(4), 1)
+                return None
+            buf = comm.recv(0)
+            assert not buf.flags.writeable
+            with pytest.raises(ValueError):
+                buf[:] = -1
+            return buf.sum()
+
+        out = run_spmd(2, prog)
+        assert out.results[1] == 6
+
+    def test_legacy_copy_mode_delivers_writable_buffers(self):
+        """payload_mode="copy" keeps the seed's deep-copy semantics."""
         src = np.arange(4)
 
         def prog(comm):
@@ -93,12 +131,14 @@ class TestPointToPoint:
                 comm.barrier()
                 return src.copy()
             buf = comm.recv(0)
+            assert buf.flags.writeable
             buf[:] = -1
             comm.barrier()
             return buf
 
-        out = run_spmd(2, prog)
+        out = run_spmd(2, prog, payload_mode="copy")
         assert np.array_equal(out.results[0], [0, 1, 2, 3])
+        assert np.array_equal(out.results[1], [-1, -1, -1, -1])
 
     def test_counts_sent_and_received(self):
         def prog(comm):

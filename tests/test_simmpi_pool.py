@@ -1,0 +1,136 @@
+"""SpmdPool: persistent rank workers, equivalence with run_spmd,
+failure recovery, and the mailbox watchdog's absolute deadline."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DeadlockError, RankFailedError
+from repro.simmpi import SpmdPool, run_spmd, shared_pool
+from repro.simmpi.mailbox import Mailbox
+
+
+def _sum_of_ranks(comm):
+    return sum(comm.allgather(comm.rank))
+
+
+def _bcast_sum(comm, words):
+    data = np.arange(words, dtype=float) if comm.rank == 0 else None
+    got = comm.bcast(data, root=0)
+    return float(np.asarray(got).sum())
+
+
+class TestSpmdPool:
+    def test_matches_run_spmd_results_and_counts(self):
+        baseline = run_spmd(8, _bcast_sum, 64)
+        with SpmdPool() as pool:
+            pooled = pool.run(8, _bcast_sum, 64)
+        assert pooled.results == baseline.results
+        assert (
+            pooled.report.counts_signature()
+            == baseline.report.counts_signature()
+        )
+
+    def test_workers_are_reused_and_grow_on_demand(self):
+        with SpmdPool() as pool:
+            assert pool.workers == 0
+            pool.run(4, _sum_of_ranks)
+            assert pool.workers == 4
+            first = set(threading.enumerate())
+            pool.run(4, _sum_of_ranks)
+            assert pool.workers == 4  # same workers, no respawn
+            assert {
+                t for t in threading.enumerate() if t.name.startswith("simmpi-pool")
+            } == {t for t in first if t.name.startswith("simmpi-pool")}
+            pool.run(6, _sum_of_ranks)
+            assert pool.workers == 6
+
+    def test_initial_workers(self):
+        with SpmdPool(initial_workers=3) as pool:
+            assert pool.workers == 3
+            assert pool.run(2, _sum_of_ranks).results == (1, 1)
+
+    def test_failure_propagates_and_pool_survives(self):
+        def boom(comm):
+            if comm.rank == 1:
+                raise RuntimeError("kaboom")
+            if comm.size > 1:
+                comm.recv((comm.rank + 1) % comm.size)  # blocks, then aborted
+            return comm.rank
+
+        with SpmdPool() as pool:
+            with pytest.raises(RankFailedError, match="kaboom"):
+                pool.run(4, boom, timeout=30.0)
+            # The pool remains usable after a failed run.
+            assert pool.run(4, _sum_of_ranks).results == (6, 6, 6, 6)
+
+    def test_shutdown_is_idempotent_and_final(self):
+        pool = SpmdPool()
+        pool.run(2, _sum_of_ranks)
+        pool.shutdown()
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.run(2, _sum_of_ranks)
+
+    def test_run_accepts_engine_kwargs(self):
+        with SpmdPool() as pool:
+            out = pool.run(
+                2,
+                _bcast_sum,
+                10,
+                max_message_words=4,
+                payload_mode="copy",
+                timeout=30.0,
+            )
+            assert out.results == (45.0, 45.0)
+            assert out.report.ranks[0].messages_sent == 3  # ceil(10/4)
+
+    def test_rejects_negative_initial_workers(self):
+        with pytest.raises(ValueError):
+            SpmdPool(initial_workers=-1)
+
+    def test_shared_pool_is_a_singleton(self):
+        assert shared_pool() is shared_pool()
+        assert shared_pool().run(3, _sum_of_ranks).results == (3, 3, 3)
+
+
+class TestWatchdogDeadline:
+    def test_spurious_wakeups_do_not_rearm_timeout(self):
+        """A steady stream of non-matching messages must not postpone the
+        deadline: the watchdog tracks absolute time, not time since the
+        last wake-up."""
+        box = Mailbox(0)
+        stop = threading.Event()
+
+        def feeder():
+            i = 0
+            while not stop.is_set():
+                box.put(1, "ctx", ("noise", i), i)  # wrong tag: never matches
+                i += 1
+                time.sleep(0.05)
+
+        t = threading.Thread(target=feeder, daemon=True)
+        t.start()
+        try:
+            start = time.monotonic()
+            with pytest.raises(DeadlockError):
+                box.get(1, "ctx", "wanted", timeout=0.5)
+            elapsed = time.monotonic() - start
+            assert elapsed < 2.0, f"watchdog re-armed: waited {elapsed:.2f}s"
+        finally:
+            stop.set()
+            t.join()
+
+    def test_message_arriving_before_deadline_is_delivered(self):
+        box = Mailbox(0)
+
+        def late_put():
+            time.sleep(0.15)
+            box.put(1, "ctx", "tag", "payload")
+
+        t = threading.Thread(target=late_put, daemon=True)
+        t.start()
+        assert box.get(1, "ctx", "tag", timeout=5.0) == "payload"
+        t.join()
