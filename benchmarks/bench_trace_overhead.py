@@ -1,0 +1,163 @@
+"""Wall-clock overhead of simmpi event tracing.
+
+The tracing subsystem (:mod:`repro.simmpi.events`) promises two things
+this benchmark guards:
+
+* ``trace=False`` (the default) costs nothing beyond one ``is None``
+  test per operation — timings with the hooks in place must stay within
+  noise of each other run-to-run;
+* ``trace=True`` pays a bounded, measured premium per event (ring
+  append of one dataclass), reported here so regressions in the hook
+  path show up PR over PR.
+
+The workload is point-to-point heavy (a ring of small sendrecvs plus
+tiny metered kernels) because p2p hooks fire once per message — the
+worst case for per-event overhead, where a broadcast amortizes its span
+over p-1 sends. Counts are checked bit-identical between traced and
+untraced runs before any timing is trusted, and the traced run's event
+tallies are recorded alongside the timings in
+``BENCH_trace_overhead.json``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.simmpi import SpmdPool
+
+SCHEMA = "bench_trace_overhead/v1"
+DEFAULT_SIZES = (8, 32)
+
+
+def ring_heavy(comm, words: int, rounds: int) -> float:
+    """Each round: shift a small block around the ring and meter a tiny
+    kernel — one send+recv+flops event triple per rank per round."""
+    block = np.full(words, float(comm.rank), dtype=np.float64)
+    total = 0.0
+    for _ in range(rounds):
+        block = comm.shift(block, 1)
+        comm.add_flops(2.0 * words, label="fold")
+        total += float(block[0])
+    return total
+
+
+def _time_config(pool, p, words, rounds, repeats, timeout, trace):
+    """Warmup + timed repeats of one (p, trace) cell."""
+    warmup = pool.run(p, ring_heavy, words, rounds, timeout=timeout, trace=trace)
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        pool.run(p, ring_heavy, words, rounds, timeout=timeout, trace=trace)
+        times.append(time.perf_counter() - start)
+    return times, warmup
+
+
+def run_benchmark(
+    sizes=DEFAULT_SIZES,
+    words: int = 64,
+    rounds: int = 200,
+    repeats: int = 5,
+    timeout: float = 120.0,
+) -> dict:
+    results = []
+    overhead = {}
+    counts_identical = True
+
+    with SpmdPool() as pool:
+        for p in sizes:
+            cell = {}
+            outs = {}
+            for trace in (False, True):
+                times, out = _time_config(
+                    pool, p, words, rounds, repeats, timeout, trace
+                )
+                cell[trace] = times
+                outs[trace] = out
+                label = "traced " if trace else "untraced"
+                results.append(
+                    {
+                        "p": p,
+                        "traced": trace,
+                        "best_s": min(times),
+                        "median_s": statistics.median(times),
+                        "times_s": times,
+                        "events_recorded": sum(
+                            r.events_recorded for r in out.report.ranks
+                        ),
+                    }
+                )
+                print(
+                    f"p={p:4d} {label} best={min(times):.4f}s "
+                    f"median={statistics.median(times):.4f}s"
+                )
+            if (
+                outs[False].report.counts_signature()
+                != outs[True].report.counts_signature()
+            ):
+                counts_identical = False
+                print(f"p={p}: COUNTS DIVERGE BETWEEN TRACED AND UNTRACED")
+            ratio = min(cell[True]) / min(cell[False])
+            overhead[str(p)] = ratio
+            print(f"p={p:4d} traced/untraced best-time ratio: {ratio:.3f}x")
+
+    return {
+        "schema": SCHEMA,
+        "workload": {"kind": "ring_heavy", "words": words, "rounds": rounds},
+        "repeats": repeats,
+        "results": results,
+        "overhead_ratio": overhead,
+        "counts_identical": counts_identical,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--words", type=int, default=64,
+                    help="payload elements per shift (default 64)")
+    ap.add_argument("--rounds", type=int, default=200,
+                    help="ring rounds per run (default 200)")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="timed repetitions per configuration (default 5)")
+    ap.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+                    help="rank counts to benchmark (default 8 32)")
+    ap.add_argument("--timeout", type=float, default=120.0,
+                    help="simulator deadlock watchdog seconds (default 120)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny fast configuration for CI (p=4, 20 rounds)")
+    ap.add_argument("--output", type=Path, default=Path("BENCH_trace_overhead.json"),
+                    help="where to write the JSON report")
+    args = ap.parse_args(argv)
+    if args.words < 1 or args.rounds < 1 or args.repeats < 1:
+        ap.error("--words, --rounds and --repeats must all be >= 1")
+    if any(p < 1 for p in args.sizes):
+        ap.error("--sizes entries must be >= 1")
+    if args.smoke:
+        args.sizes, args.rounds, args.repeats = [4], 20, 2
+
+    report = run_benchmark(
+        sizes=tuple(args.sizes),
+        words=args.words,
+        rounds=args.rounds,
+        repeats=args.repeats,
+        timeout=args.timeout,
+    )
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not report["counts_identical"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

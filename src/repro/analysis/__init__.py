@@ -6,7 +6,7 @@ from repro.analysis.figures import (
     figure6_series,
     figure7_series,
 )
-from repro.analysis.asciiplot import line_plot, region_plot
+from repro.analysis.asciiplot import gantt_chart, line_plot, region_plot
 from repro.analysis.breakdown import (
     TERMS,
     dominance_boundary,
@@ -15,6 +15,7 @@ from repro.analysis.breakdown import (
 )
 from repro.analysis.frontier import CostModelFrontier, FrontierGrid, NBodyFrontier
 from repro.analysis.report import generate_report
+from repro.analysis.timeline import CriticalPath, Timeline
 from repro.analysis.tables import (
     render_scaling_points,
     render_series,
@@ -24,6 +25,7 @@ from repro.analysis.tables import (
 )
 from repro.analysis.validation import (
     ScalingPoint,
+    default_machine,
     measure_matmul_comparison,
     measure_caps_bandwidth,
     measure_fft_tradeoff,
@@ -40,6 +42,7 @@ __all__ = [
     "NBodyFrontier",
     "FrontierGrid",
     "ScalingPoint",
+    "default_machine",
     "measure_strong_scaling_matmul",
     "measure_strong_scaling_nbody",
     "measure_caps_bandwidth",
@@ -59,4 +62,7 @@ __all__ = [
     "energy_breakdown_fractions",
     "measure_matmul_comparison",
     "region_plot",
+    "gantt_chart",
+    "Timeline",
+    "CriticalPath",
 ]

@@ -1,15 +1,19 @@
 """Terminal plotting — render the paper's figures without matplotlib.
 
-Two primitives cover everything the figures need:
+Three primitives cover everything the figures and traces need:
 
 * :func:`line_plot` — multi-series scatter/line chart on linear or log
   axes, drawn with per-series glyphs into a character grid.
 * :func:`region_plot` — Fig. 4-style layered region map: later layers
   overdraw earlier ones; the wedge/budget masks from
   :mod:`repro.analysis.frontier` plug in directly.
+* :func:`gantt_chart` — labeled horizontal lanes of glyph-filled time
+  spans (later spans overdraw earlier ones), used by
+  :meth:`repro.analysis.timeline.Timeline.gantt` for per-rank event
+  timelines.
 
-Both return plain strings (testable, pipeable); the CLI's ``--plot``
-flags and the examples use them.
+All return plain strings (testable, pipeable); the CLI's ``--plot``
+flags, the ``trace`` subcommand and the examples use them.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 
-__all__ = ["line_plot", "region_plot"]
+__all__ = ["line_plot", "region_plot", "gantt_chart"]
 
 _GLYPHS = "*o+x#@%&"
 
@@ -114,6 +118,61 @@ def line_plot(
         f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(series)
     )
     lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def gantt_chart(
+    lanes: dict[str, Sequence[tuple[float, float, str]]],
+    width: int = 72,
+    title: str = "",
+    t_label: str = "time [s]",
+    legend: str = "",
+) -> str:
+    """Horizontal time lanes of glyph-filled spans.
+
+    ``lanes`` maps a lane label (e.g. ``"rank 3"``) to spans
+    ``(t0, t1, glyph)`` on a shared linear time axis; later spans
+    overdraw earlier ones within a lane. Zero-duration spans paint a
+    single cell so instantaneous events stay visible.
+    """
+    if width < 8:
+        raise ParameterError("gantt chart must be at least 8 characters wide")
+    if not lanes:
+        raise ParameterError("need at least one lane")
+    spans = [s for lane in lanes.values() for s in lane]
+    if spans:
+        t_lo = min(s[0] for s in spans)
+        t_hi = max(s[1] for s in spans)
+    else:
+        t_lo, t_hi = 0.0, 1.0
+    if t_hi == t_lo:
+        t_hi = t_lo + 1.0
+    label_w = max(len(name) for name in lanes) + 1
+
+    def col(t: float) -> int:
+        return int(round((t - t_lo) / (t_hi - t_lo) * (width - 1)))
+
+    lines = []
+    if title:
+        lines.append(title)
+    for name, lane in lanes.items():
+        row = [" "] * width
+        for t0, t1, glyph in lane:
+            c0, c1 = col(t0), col(t1)
+            for c in range(c0, max(c1, c0 + 1)):
+                row[c] = glyph[0] if glyph else "#"
+        lines.append(f"{name:>{label_w}s} |{''.join(row)}|")
+    lines.append(" " * (label_w + 2) + "-" * width)
+    t_ticks = _axis_ticks(t_lo, t_hi, log=False, count=4)
+    buf = [" "] * (width + label_w + 2)
+    positions = np.linspace(0, width - len(t_ticks[-1]), len(t_ticks)).astype(int)
+    for pos, t in zip(positions, t_ticks):
+        for i, ch in enumerate(t):
+            if label_w + 2 + pos + i < len(buf):
+                buf[label_w + 2 + pos + i] = ch
+    lines.append("".join(buf).rstrip() + f"   [{t_label}]")
+    if legend:
+        lines.append(" " * (label_w + 2) + legend)
     return "\n".join(lines)
 
 

@@ -32,6 +32,7 @@ from repro.simmpi.pool import shared_pool
 
 __all__ = [
     "ScalingPoint",
+    "default_machine",
     "measure_strong_scaling_matmul",
     "measure_strong_scaling_nbody",
     "measure_caps_bandwidth",
@@ -61,11 +62,12 @@ class ScalingPoint:
         return float(self.max_words) * self.p
 
 
-def _default_machine() -> MachineParameters:
+def default_machine() -> MachineParameters:
     """A neutral machine for count-driven time/energy estimation.
 
     Chosen so that compute, bandwidth and memory all contribute
-    (epsilon_e = alpha_e = 0 like the paper's case study).
+    (epsilon_e = alpha_e = 0 like the paper's case study). Shared by
+    the validation sweeps and the ``repro trace`` CLI.
     """
     return MachineParameters(
         gamma_t=1e-9,
@@ -97,7 +99,7 @@ def measure_strong_scaling_matmul(
     every c by construction.
     """
     if machine is None:
-        machine = _default_machine()
+        machine = default_machine()
     rng = np.random.default_rng(seed)
     a = rng.standard_normal((n, n))
     b = rng.standard_normal((n, n))
@@ -140,7 +142,7 @@ def measure_strong_scaling_nbody(
     p = r c ranks, block n/r particles on every rank for every c.
     """
     if machine is None:
-        machine = _default_machine()
+        machine = default_machine()
     rng = np.random.default_rng(seed)
     pos = rng.standard_normal((n, 3))
     q = rng.uniform(0.5, 2.0, n)
@@ -181,7 +183,7 @@ def measure_caps_bandwidth(
     measured counterpart for shape comparison.
     """
     rng = np.random.default_rng(seed)
-    machine = _default_machine()
+    machine = default_machine()
     out = []
     for n in n_values:
         a = rng.standard_normal((n, n))
@@ -218,7 +220,7 @@ def measure_fft_tradeoff(
     count moves the other way. Reproduces the FFT cost table rows."""
     rng = np.random.default_rng(seed)
     x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
-    machine = _default_machine()
+    machine = default_machine()
     out: dict[str, list[ScalingPoint]] = {"naive": [], "bruck": []}
     for mode in ("naive", "bruck"):
         for p in p_values:
@@ -259,7 +261,7 @@ def measure_matmul_comparison(
     rng = np.random.default_rng(seed)
     a = rng.standard_normal((n, n))
     b = rng.standard_normal((n, n))
-    machine = _default_machine()
+    machine = default_machine()
     runs = [
         ("summa p=4", 4, 1, lambda comm: summa_matmul(comm, a, b)),
         ("cannon p=4", 4, 1, lambda comm: cannon_matmul(comm, a, b)),
@@ -297,7 +299,7 @@ def measure_lu_latency(
     the executable face of the paper's 2.5D-LU latency observation."""
     rng = np.random.default_rng(seed)
     a = rng.standard_normal((n, n)) + n * np.eye(n)
-    machine = _default_machine()
+    machine = default_machine()
     out = []
     for p in p_values:
         res = shared_pool().run(p, lu_2d, a)

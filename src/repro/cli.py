@@ -8,6 +8,7 @@
     python -m repro fig7            # joint parameter scaling
     python -m repro validate        # measured-vs-model sweeps (simulator)
     python -m repro questions       # Section V answers on Table I
+    python -m repro trace matmul25d # traced run: timeline + critical path
 
 Everything prints the same rows the benchmark harness persists under
 ``benchmarks/results/`` — the CLI is the interactive face of the same
@@ -215,10 +216,130 @@ def _cmd_questions(_args) -> None:
     print(f"[5] best efficiency = {opt.gflops_per_watt_optimal():.4f} GFLOPS/W")
 
 
+# -- traced workloads ------------------------------------------------------
+
+#: workload -> (default p, default n, p/n constraint text for --help)
+TRACE_WORKLOADS = {
+    "matmul25d": (8, 16, "p = q^2 c with c | q (e.g. 4, 8, 32); q | n"),
+    "cannon": (4, 16, "p a perfect square; sqrt(p) | n"),
+    "summa": (4, 16, "p a perfect square; sqrt(p) | n"),
+    "caps": (7, 14, "p = 7^k; n = 2^depth * 7 * t (e.g. n=14 at p=7)"),
+    "nbody": (4, 64, "p | n"),
+    "fft": (4, 1024, "p and n powers of two with p^2 | n"),
+}
+
+
+def _pick_25d_c(p: int) -> int:
+    """Largest valid replication factor for p = q^2 c (c | q, c <= q)."""
+    import math
+
+    from repro.exceptions import ParameterError
+
+    for c in range(int(round(p ** (1 / 3))), 0, -1):
+        if p % c:
+            continue
+        q = math.isqrt(p // c)
+        if q * q * c == p and q % c == 0:
+            return c
+    raise ParameterError(
+        f"p={p} does not factor as q^2 c with c | q (try p = 4, 8, 16, 32...)"
+    )
+
+
+def _build_trace_program(workload: str, p: int, n: int):
+    """Resolve a workload name to ``(program, args, label)`` for run_spmd.
+
+    Raises ParameterError when (p, n) violate the workload's layout
+    constraints (messages name the constraint, mirroring --help).
+    """
+    rng = np.random.default_rng(0)
+    if workload in ("matmul25d", "cannon", "summa"):
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        if workload == "matmul25d":
+            from repro.algorithms.matmul25d import grid_for_25d, matmul_25d
+
+            c = _pick_25d_c(p)
+            grid_for_25d(p, c)  # validates; matmul_25d rechecks n % q
+            return matmul_25d, (a, b, c), f"matmul25d(n={n}, c={c})"
+        if workload == "cannon":
+            from repro.algorithms.cannon import cannon_matmul
+
+            return cannon_matmul, (a, b), f"cannon(n={n})"
+        from repro.algorithms.summa import summa_matmul
+
+        return summa_matmul, (a, b), f"summa(n={n})"
+    if workload == "caps":
+        from repro.algorithms.caps import caps_matmul
+
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        return caps_matmul, (a, b), f"caps(n={n})"
+    if workload == "nbody":
+        from repro.algorithms.nbody import nbody_ring
+
+        pos = rng.standard_normal((n, 3))
+        q = rng.uniform(0.5, 2.0, n)
+        return nbody_ring, (pos, q), f"nbody(n={n})"
+    if workload == "fft":
+        from repro.algorithms.fft import fft_parallel
+
+        x = rng.standard_normal(n)
+        return fft_parallel, (x,), f"fft(n={n})"
+    raise AssertionError(f"unknown workload {workload!r}")  # argparse guards
+
+
+def _cmd_trace(args) -> None:
+    from repro.analysis.validation import default_machine
+    from repro.exceptions import ReproError
+    from repro.simmpi import run_spmd
+
+    spec = TRACE_WORKLOADS[args.workload]
+    p = spec[0] if args.p is None else args.p
+    n = spec[1] if args.n is None else args.n
+    try:
+        program, prog_args, label = _build_trace_program(args.workload, p, n)
+        out = run_spmd(
+            p,
+            program,
+            *prog_args,
+            machine=default_machine(),
+            trace=True,
+            trace_capacity=args.capacity,
+        )
+        timeline = out.timeline()
+        report = out.report
+        print(f"{label} on p={p}: {report.summary()}")
+        if timeline.dropped:
+            print(
+                f"warning: {timeline.dropped} events dropped by ring "
+                f"overflow; rerun with a larger --capacity"
+            )
+        print()
+        print(timeline.render_breakdown())
+        print()
+        print(timeline.gantt(width=args.width))
+        print()
+        print(timeline.critical_path().render())
+        if args.out:
+            timeline.save_chrome_trace(args.out)
+            print(
+                f"\nwrote {args.out} — load it at https://ui.perfetto.dev "
+                f"or chrome://tracing"
+            )
+    except ReproError as exc:
+        raise SystemExit(f"repro trace: {exc}") from exc
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables, figures and Section V answers.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table1").set_defaults(fn=_cmd_table1)
@@ -241,6 +362,33 @@ def build_parser() -> argparse.ArgumentParser:
     pr = sub.add_parser("report")
     pr.add_argument("--quick", action="store_true")
     pr.set_defaults(fn=_cmd_report)
+    workload_lines = "\n".join(
+        f"  {name:<10s} default p={dp:<3d} n={dn:<5d} {constraint}"
+        for name, (dp, dn, constraint) in TRACE_WORKLOADS.items()
+    )
+    pt = sub.add_parser(
+        "trace",
+        help="run a workload with event tracing: timeline + critical path",
+        description=(
+            "Run one simulated workload with trace=True on the validation "
+            "machine and print the category breakdown, per-rank Gantt chart "
+            "and the exact critical path bounding the simulated time."
+        ),
+        epilog="workloads:\n" + workload_lines,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    pt.add_argument("workload", choices=sorted(TRACE_WORKLOADS))
+    pt.add_argument("--p", type=int, default=None, help="rank count")
+    pt.add_argument("--n", type=int, default=None, help="problem size")
+    pt.add_argument(
+        "--capacity", type=int, default=None, help="per-rank event ring size"
+    )
+    pt.add_argument("--width", type=int, default=72, help="gantt chart width")
+    pt.add_argument(
+        "--out", default=None, metavar="TRACE_JSON",
+        help="write a Chrome/Perfetto trace.json here",
+    )
+    pt.set_defaults(fn=_cmd_trace)
     return parser
 
 

@@ -23,6 +23,12 @@ from repro.simmpi.comm import Comm
 from repro.simmpi.counters import CostCounter, CounterSnapshot
 from repro.simmpi.engine import SpmdResult, run_spmd
 from repro.simmpi.envelope import Envelope
+from repro.simmpi.events import (
+    DEFAULT_TRACE_CAPACITY,
+    Event,
+    EventLog,
+    collective_span,
+)
 from repro.simmpi.mailbox import ANY_TAG, Mailbox
 from repro.simmpi.payload import (
     FrozenPayload,
@@ -53,6 +59,10 @@ __all__ = [
     "ANY_TAG",
     "Request",
     "Envelope",
+    "Event",
+    "EventLog",
+    "collective_span",
+    "DEFAULT_TRACE_CAPACITY",
     "payload_words",
     "copy_payload",
     "message_count",

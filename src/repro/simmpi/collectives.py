@@ -36,6 +36,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.exceptions import CommunicatorError
+from repro.simmpi.events import collective_span
 from repro.simmpi.payload import copy_payload, freeze_payload
 
 __all__ = [
@@ -84,6 +85,11 @@ def _wrank(vrank: int, root: int, size: int) -> int:
 
 def barrier(comm) -> None:
     """Dissemination barrier: ceil(log2 p) zero-word rounds."""
+    with collective_span(comm, "barrier"):
+        _barrier_impl(comm)
+
+
+def _barrier_impl(comm) -> None:
     p = comm.size
     if p == 1:
         return
@@ -108,6 +114,11 @@ def bcast(comm, obj: Any, root: int = 0, algorithm: str = "binomial") -> Any:
         large-message cost the paper's W expressions assume. Requires an
         ndarray payload on the root.
     """
+    with collective_span(comm, "bcast", algorithm):
+        return _bcast_impl(comm, obj, root, algorithm)
+
+
+def _bcast_impl(comm, obj: Any, root: int, algorithm: str) -> Any:
     p = comm.size
     _check_root(root, p)
     if p == 1:
@@ -170,6 +181,11 @@ def reduce(
         independent of p (the large-message regime of the models).
         Requires ndarray payloads and the default sum op.
     """
+    with collective_span(comm, "reduce", algorithm):
+        return _reduce_impl(comm, obj, op, root, algorithm)
+
+
+def _reduce_impl(comm, obj: Any, op: ReduceOp, root: int, algorithm: str) -> Any:
     p = comm.size
     _check_root(root, p)
     if algorithm == "reduce_scatter_gather":
@@ -240,11 +256,12 @@ def allreduce(
         excess ranks in/out first. Halves the root bottleneck and the
         round count for large payloads.
     """
-    if algorithm == "reduce_bcast":
-        return bcast(comm, reduce(comm, obj, op=op, root=0), root=0)
-    if algorithm != "recursive_doubling":
-        raise CommunicatorError(f"unknown allreduce algorithm {algorithm!r}")
-    return _allreduce_recursive_doubling(comm, obj, op)
+    with collective_span(comm, "allreduce", algorithm):
+        if algorithm == "reduce_bcast":
+            return bcast(comm, reduce(comm, obj, op=op, root=0), root=0)
+        if algorithm != "recursive_doubling":
+            raise CommunicatorError(f"unknown allreduce algorithm {algorithm!r}")
+        return _allreduce_recursive_doubling(comm, obj, op)
 
 
 def _allreduce_recursive_doubling(comm, obj: Any, op: ReduceOp) -> Any:
@@ -283,6 +300,11 @@ def reduce_scatter(comm, obj: Any, op: ReduceOp = sum_op) -> Any:
     array_split). ndarray payloads only; p-1 rounds of size/p words —
     the building block of the large-message reduce.
     """
+    with collective_span(comm, "reduce_scatter", "ring"):
+        return _reduce_scatter_impl(comm, obj, op)
+
+
+def _reduce_scatter_impl(comm, obj: Any, op: ReduceOp) -> Any:
     p = comm.size
     if not isinstance(obj, np.ndarray):
         raise CommunicatorError(
@@ -311,6 +333,11 @@ def allgather(comm, obj: Any) -> list:
 
     Returns the list of every rank's contribution, indexed by rank.
     """
+    with collective_span(comm, "allgather", "ring"):
+        return _allgather_impl(comm, obj)
+
+
+def _allgather_impl(comm, obj: Any) -> list:
     p = comm.size
     out: list = [None] * p
     # One freeze here is the only copy a CoW allgather pays: every ring
@@ -333,6 +360,11 @@ def allgather(comm, obj: Any) -> list:
 
 def gather(comm, obj: Any, root: int = 0) -> list | None:
     """Direct gather to root; returns the rank-indexed list on root."""
+    with collective_span(comm, "gather", "direct"):
+        return _gather_impl(comm, obj, root)
+
+
+def _gather_impl(comm, obj: Any, root: int) -> list | None:
     p = comm.size
     _check_root(root, p)
     if comm.rank != root:
@@ -348,6 +380,11 @@ def gather(comm, obj: Any, root: int = 0) -> list | None:
 
 def scatter(comm, objs: Sequence[Any] | None, root: int = 0) -> Any:
     """Direct scatter from root; rank r receives ``objs[r]``."""
+    with collective_span(comm, "scatter", "direct"):
+        return _scatter_impl(comm, objs, root)
+
+
+def _scatter_impl(comm, objs: Sequence[Any] | None, root: int) -> Any:
     p = comm.size
     _check_root(root, p)
     if comm.rank == root:
@@ -370,6 +407,11 @@ def alltoall(comm, blocks: Sequence[Any]) -> list:
     (rank - k) mod p. This is the FFT section's "naive" all-to-all:
     every rank sends p-1 separate messages.
     """
+    with collective_span(comm, "alltoall", "pairwise"):
+        return _alltoall_impl(comm, blocks)
+
+
+def _alltoall_impl(comm, blocks: Sequence[Any]) -> list:
     p = comm.size
     if len(blocks) != p:
         raise CommunicatorError(
@@ -394,6 +436,11 @@ def alltoall_bruck(comm, blocks: Sequence[Any]) -> list:
     traveling up to log2 p hops: the FFT section's "tree-based"
     all-to-all (W = (p/2)·k·log2 p, S = log2 p per rank).
     """
+    with collective_span(comm, "alltoall", "bruck"):
+        return _alltoall_bruck_impl(comm, blocks)
+
+
+def _alltoall_bruck_impl(comm, blocks: Sequence[Any]) -> list:
     p = comm.size
     if p & (p - 1):
         raise CommunicatorError(f"alltoall_bruck requires a power-of-two size, got {p}")

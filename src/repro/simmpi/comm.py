@@ -57,6 +57,10 @@ class Comm:
         self._rank = rank
         self._context = context
         self._split_seq = 0
+        #: this rank's event log (None when the world is untraced); the
+        #: metering hooks below test it once per operation, which is the
+        #: entire overhead of the disabled tracing path
+        self._elog = world.counters[self._group[rank]].elog
 
     # -- identity -------------------------------------------------------
 
@@ -93,21 +97,41 @@ class Comm:
 
     # -- computation metering --------------------------------------------
 
-    def add_flops(self, count: float) -> None:
+    def add_flops(self, count: float, label: str = "compute") -> None:
         """Meter ``count`` local floating point operations (and advance
-        the virtual clock by gamma_t * count when a machine is set)."""
-        self.counter.add_flops(count)
+        the virtual clock by gamma_t * count when a machine is set).
+
+        ``label`` names the kernel in trace timelines (e.g. ``"gemm"``);
+        it is ignored when tracing is off.
+        """
+        counter = self.counter
+        t0 = counter.vtime
+        counter.add_flops(count)
         machine = self._world.machine
+        cost = 0.0
         if machine is not None:
-            self.counter.advance_clock(machine.gamma_t * count)
+            cost = machine.gamma_t * count
+            counter.advance_clock(cost)
+        if self._elog is not None:
+            self._elog.append(
+                "flops", t0, counter.vtime, cost=cost, flops=count, tag=label
+            )
 
     def allocate(self, words: int) -> None:
         """Meter acquiring a local buffer (memory high-water tracking)."""
-        self.counter.allocate(words)
+        counter = self.counter
+        counter.allocate(words)
+        if self._elog is not None:
+            t = counter.vtime
+            self._elog.append("alloc", t, t, words=words)
 
     def release(self) -> None:
         """Release the most recent metered buffer."""
-        self.counter.release()
+        counter = self.counter
+        freed = counter.release()
+        if self._elog is not None:
+            t = counter.vtime
+            self._elog.append("release", t, t, words=freed)
 
     # -- point-to-point ----------------------------------------------------
 
@@ -134,16 +158,34 @@ class Comm:
         msgs = message_count(words, self._world.max_message_words)
         dest_world_rank = self._group[dest]
         internode = not self._world.same_node(self.world_rank, dest_world_rank)
-        self.counter.add_send(words, msgs, internode=internode)
+        counter = self.counter
+        counter.add_send(words, msgs, internode=internode)
         machine = self._world.machine
+        t0 = counter.vtime
+        cost = 0.0
         departure = None
         if machine is not None:
-            self.counter.advance_clock(
-                machine.alpha_t * msgs + machine.beta_t * words
+            cost = machine.alpha_t * msgs + machine.beta_t * words
+            counter.advance_clock(cost)
+            departure = counter.vtime
+        trace_ref = None
+        if self._elog is not None:
+            seq = self._elog.append(
+                "send",
+                t0,
+                counter.vtime,
+                cost=cost,
+                words=words,
+                messages=msgs,
+                peer=dest_world_rank,
+                tag=tag,
             )
-            departure = self.counter.vtime
+            trace_ref = (self.world_rank, seq)
         self._world.mailboxes[dest_world_rank].put(
-            self.world_rank, self._context, tag, Envelope(payload, departure)
+            self.world_rank,
+            self._context,
+            tag,
+            Envelope(payload, departure, trace_ref),
         )
 
     def recv(self, source: int, tag: Hashable = 0) -> Any:
@@ -164,7 +206,7 @@ class Comm:
             timeout=self._world.timeout,
             abort_check=self._world.failed.is_set,
         )
-        return self._open_envelope(env, src_world)
+        return self._open_envelope(env, src_world, tag=tag)
 
     def isend(self, obj: Any, dest: int, tag: Hashable = 0) -> Request:
         """Nonblocking send. Eager sends complete immediately; the
@@ -196,7 +238,7 @@ class Comm:
             return env is not NOTHING, env
 
         def finish(env):
-            return self._open_envelope(env, src_world)
+            return self._open_envelope(env, src_world, tag=tag)
 
         return Request(poll=poll, finish=finish)
 
@@ -324,7 +366,7 @@ class Comm:
 
     # -- internals ---------------------------------------------------------
 
-    def _open_envelope(self, env: Envelope, src_world: int) -> Any:
+    def _open_envelope(self, env: Envelope, src_world: int, tag: Hashable = 0) -> Any:
         """Meter an arrived envelope and unwrap its payload.
 
         Frozen payloads report their cached word count and deliver
@@ -340,9 +382,25 @@ class Comm:
             words = payload_words(payload)
         msgs = message_count(words, self._world.max_message_words)
         internode = not self._world.same_node(self.world_rank, src_world)
-        self.counter.add_recv(words, msgs, internode=internode)
+        counter = self.counter
+        counter.add_recv(words, msgs, internode=internode)
+        t0 = counter.vtime
         if self._world.machine is not None and env.departure is not None:
-            self.counter.sync_clock(env.departure)
+            counter.sync_clock(env.departure)
+        if self._elog is not None:
+            # t1 > t0 here means the clock jumped to the message's
+            # departure time: the receiver stalled on the sender, and
+            # ``ref`` names the exact send event that bounded it.
+            self._elog.append(
+                "recv",
+                t0,
+                counter.vtime,
+                words=words,
+                messages=msgs,
+                peer=src_world,
+                tag=tag,
+                ref=env.trace_ref,
+            )
         return payload
 
     def _allgather_unmetered(self, obj: Any) -> list:

@@ -15,8 +15,12 @@ is needed; snapshots taken after the SPMD run has joined are safe.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.exceptions import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simmpi.events import EventLog
 
 __all__ = ["CostCounter", "CounterSnapshot"]
 
@@ -39,6 +43,9 @@ class CounterSnapshot:
     messages_sent_internode: int = 0
     words_received_internode: int = 0
     messages_received_internode: int = 0
+    #: trace-event tallies (zero when the run was untraced)
+    events_recorded: int = 0
+    events_dropped: int = 0
 
     @property
     def words_sent_intranode(self) -> int:
@@ -81,6 +88,9 @@ class CostCounter:
     messages_sent_internode: int = 0
     words_received_internode: int = 0
     messages_received_internode: int = 0
+    #: optional per-rank event log, attached by the World when the run
+    #: is traced; the Comm hooks append through it (None = no tracing)
+    elog: EventLog | None = field(default=None, repr=False)
     _mem_stack: list[int] = field(default_factory=list, repr=False)
 
     def advance_clock(self, seconds: float) -> None:
@@ -129,11 +139,14 @@ class CostCounter:
         if self.mem_words > self.mem_peak_words:
             self.mem_peak_words = self.mem_words
 
-    def release(self) -> None:
-        """Release the most recently allocated buffer (stack discipline)."""
+    def release(self) -> int:
+        """Release the most recently allocated buffer (stack discipline);
+        returns the freed word count (used by the trace hooks)."""
         if not self._mem_stack:
             raise ParameterError("release() without matching allocate()")
-        self.mem_words -= self._mem_stack.pop()
+        freed = self._mem_stack.pop()
+        self.mem_words -= freed
+        return freed
 
     def snapshot(self) -> CounterSnapshot:
         return CounterSnapshot(
@@ -149,4 +162,6 @@ class CostCounter:
             messages_sent_internode=self.messages_sent_internode,
             words_received_internode=self.words_received_internode,
             messages_received_internode=self.messages_received_internode,
+            events_recorded=self.elog.recorded if self.elog is not None else 0,
+            events_dropped=self.elog.dropped if self.elog is not None else 0,
         )

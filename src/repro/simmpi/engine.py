@@ -41,12 +41,22 @@ class SpmdResult:
 
     results: tuple  # per-rank return values, indexed by rank
     report: TraceReport  # measured F/W/S/M per rank
+    #: per-rank EventLogs when the run was traced (``trace=True``),
+    #: else None — input to the :mod:`repro.analysis.timeline` analyses
+    event_logs: tuple | None = None
 
     def __iter__(self):
         return iter(self.results)
 
     def __getitem__(self, rank: int):
         return self.results[rank]
+
+    def timeline(self):
+        """Build a :class:`~repro.analysis.timeline.Timeline` over this
+        run's events (requires the run to have been traced)."""
+        from repro.analysis.timeline import Timeline
+
+        return Timeline.from_result(self)
 
 
 def _finalize(
@@ -68,7 +78,9 @@ def _finalize(
         raise RankFailedError(primary or failures)
 
     report = TraceReport(ranks=tuple(c.snapshot() for c in world.counters))
-    return SpmdResult(results=tuple(results), report=report)
+    return SpmdResult(
+        results=tuple(results), report=report, event_logs=world.event_logs
+    )
 
 
 def run_spmd(
@@ -80,6 +92,8 @@ def run_spmd(
     machine: Any = None,
     node_size: int | None = None,
     payload_mode: str = "cow",
+    trace: bool = False,
+    trace_capacity: int | None = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``program(comm, *args, **kwargs)`` on ``size`` simulated ranks.
@@ -111,6 +125,17 @@ def run_spmd(
         ``"copy"`` for the legacy deep-copy-per-hop transport; counts
         are identical, only physical copy traffic differs (see
         :mod:`repro.simmpi.payload`).
+    trace:
+        Record per-rank structured event logs (sends, receives,
+        collective spans, kernel spans) for the
+        :mod:`repro.analysis.timeline` analyses; the result's
+        ``event_logs`` / :meth:`SpmdResult.timeline` expose them.
+        Counts are bit-identical traced or not; the untraced default
+        pays only one ``is None`` test per operation.
+    trace_capacity:
+        Per-rank event ring size (default
+        :data:`~repro.simmpi.events.DEFAULT_TRACE_CAPACITY`); overflow
+        drops the oldest events.
 
     Raises
     ------
@@ -124,6 +149,8 @@ def run_spmd(
         machine=machine,
         node_size=node_size,
         payload_mode=payload_mode,
+        trace=trace,
+        trace_capacity=trace_capacity,
     )
     results: list[Any] = [None] * size
     failures: dict[int, BaseException] = {}

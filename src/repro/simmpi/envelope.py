@@ -22,7 +22,13 @@ __all__ = ["Envelope"]
 @dataclass(frozen=True)
 class Envelope:
     """What actually sits in a mailbox: the payload and its send-completion
-    time (None when the run has no virtual clock or for setup traffic)."""
+    time (None when the run has no virtual clock or for setup traffic).
+
+    Traced runs additionally stamp each message with the identity of the
+    send event that produced it (``trace_ref``), so the receiver's recv
+    event can point back at the exact sender-side record — the cross-rank
+    edges :class:`~repro.analysis.timeline.CriticalPath` replays."""
 
     payload: Any
     departure: float | None = None
+    trace_ref: tuple[int, int] | None = None  # (sender world rank, event seq)

@@ -147,13 +147,16 @@ class SpmdPool:
         machine: Any = None,
         node_size: int | None = None,
         payload_mode: str = "cow",
+        trace: bool = False,
+        trace_capacity: int | None = None,
         **kwargs: Any,
     ) -> SpmdResult:
         """Run ``program(comm, *args, **kwargs)`` on ``size`` pooled ranks.
 
         Drop-in equivalent of :func:`~repro.simmpi.engine.run_spmd` —
         identical signature, results, trace counts, and failure
-        behavior — minus the per-call thread spawn/join.
+        behavior (including ``trace=``/``trace_capacity=`` event
+        tracing) — minus the per-call thread spawn/join.
         """
         world = World(
             size,
@@ -162,6 +165,8 @@ class SpmdPool:
             machine=machine,
             node_size=node_size,
             payload_mode=payload_mode,
+            trace=trace,
+            trace_capacity=trace_capacity,
         )
         results: list[Any] = [None] * size
         failures: dict[int, BaseException] = {}

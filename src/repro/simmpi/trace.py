@@ -130,10 +130,21 @@ class TraceReport:
         )
 
     def words_conserved(self) -> bool:
-        """Every sent word was received (no lost traffic)."""
+        """Every sent word was received (no lost traffic).
+
+        Checked on the global tallies *and* the internode sub-tallies:
+        a two-level run (``node_size=``) must conserve node-crossing
+        traffic separately — a send metered internode on the sender but
+        intranode on the receiver would pass the global check while
+        corrupting the Fig. 2 split.
+        """
         return (
             self.total_words == self.total_words_received
             and self.total_messages == self.total_messages_received
+            and self.total_words_internode
+            == sum(r.words_received_internode for r in self.ranks)
+            and sum(r.messages_sent_internode for r in self.ranks)
+            == sum(r.messages_received_internode for r in self.ranks)
         )
 
     # -- model evaluation ----------------------------------------------------
@@ -191,9 +202,13 @@ class TraceReport:
         )
 
     def summary(self) -> str:
-        """One-line human-readable digest."""
-        return (
+        """One-line human-readable digest (simulated time included when
+        the run carried a machine model)."""
+        line = (
             f"p={self.size} F_total={self.total_flops:.3g} "
             f"W_max={self.max_words} S_max={self.max_messages} "
             f"M_peak={self.max_mem_peak}"
         )
+        if self.simulated_time > 0.0:
+            line += f" T_sim={self.simulated_time:.4g}s"
+        return line

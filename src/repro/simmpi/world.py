@@ -13,6 +13,7 @@ import math
 import threading
 
 from repro.simmpi.counters import CostCounter
+from repro.simmpi.events import DEFAULT_TRACE_CAPACITY, EventLog
 from repro.simmpi.mailbox import Mailbox
 
 __all__ = ["World"]
@@ -49,6 +50,15 @@ class World:
         receivers (see :class:`~repro.simmpi.payload.FrozenPayload`).
         ``"copy"`` — the historical deep-copy-per-hop transport.
         Word/message counts are identical in both modes.
+    trace:
+        When True, every rank records structured events (sends,
+        receives, collective spans, kernel spans, alloc/release) into a
+        per-rank :class:`~repro.simmpi.events.EventLog` for the
+        :mod:`repro.analysis.timeline` analyses. Off by default — the
+        untraced path pays only one ``is None`` test per operation.
+    trace_capacity:
+        Per-rank event ring capacity; older events are overwritten once
+        it is exceeded (counted in ``CounterSnapshot.events_dropped``).
     """
 
     def __init__(
@@ -59,6 +69,8 @@ class World:
         machine=None,
         node_size: int | None = None,
         payload_mode: str = "cow",
+        trace: bool = False,
+        trace_capacity: int | None = None,
     ):
         if size < 1:
             raise ValueError(f"world size must be >= 1, got {size}")
@@ -90,6 +102,18 @@ class World:
         self.copy_on_write = payload_mode == "cow"
         self.mailboxes = [Mailbox(r) for r in range(size)]
         self.counters = [CostCounter(rank=r) for r in range(size)]
+        self.trace = bool(trace)
+        #: per-rank EventLogs when traced, else None (zero-overhead path)
+        self.event_logs: tuple[EventLog, ...] | None = None
+        if self.trace:
+            capacity = (
+                DEFAULT_TRACE_CAPACITY if trace_capacity is None else trace_capacity
+            )
+            self.event_logs = tuple(
+                EventLog(r, capacity=capacity) for r in range(size)
+            )
+            for counter, log in zip(self.counters, self.event_logs):
+                counter.elog = log
         #: set once any rank raises; receivers poll it via interrupt()
         self.failed = threading.Event()
 

@@ -21,11 +21,28 @@ class TestParser:
             "validate",
             "questions",
             "report",
+            "trace",
         }
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_trace_help_lists_workloads(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["trace", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for name in ("matmul25d", "cannon", "summa", "caps", "nbody", "fft"):
+            assert name in out
 
 
 class TestCommands:
@@ -68,3 +85,41 @@ class TestCommands:
         assert main(["validate"]) == 0
         out = capsys.readouterr().out
         assert "matmul25d c=1" in out and "nbody c=1" in out
+
+
+class TestTraceCommand:
+    def test_trace_matmul25d_writes_perfetto_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "matmul25d", "--p", "8", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out and "T_sim" in out
+        data = json.loads(out_path.read_text())
+        events = data["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert sorted(e["tid"] for e in meta) == list(range(8))
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        for e in complete:
+            assert {"ts", "dur", "pid", "tid", "name"} <= e.keys()
+
+    def test_trace_nbody_runs(self, capsys):
+        assert main(["trace", "nbody", "--p", "2", "--n", "8"]) == 0
+        assert "nbody" in capsys.readouterr().out
+
+    def test_trace_rejects_bad_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "nosuch"])
+
+    def test_trace_rejects_invalid_p(self):
+        # p=5 is not q^2 c for any valid (q, c)
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "matmul25d", "--p", "5"])
+        assert "q^2 c" in str(exc.value)
+
+    def test_trace_rejects_invalid_n(self):
+        # fft needs a power-of-two signal length
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "fft", "--p", "2", "--n", "100"])
+        assert "power-of-two" in str(exc.value)

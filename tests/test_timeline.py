@@ -1,0 +1,213 @@
+"""Tests for Timeline/CriticalPath: critical-path exactness, breakdowns,
+the Gantt renderer and the Chrome/Perfetto exporter."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms.matmul25d import matmul_25d
+from repro.analysis.timeline import CriticalPath
+from repro.exceptions import ParameterError
+from repro.simmpi import run_spmd
+
+
+def two_rank_stall(comm):
+    """Rank 0 computes then sends; rank 1 stalls on the recv, then
+    computes. The critical path must cross from rank 1 back to rank 0."""
+    if comm.rank == 0:
+        comm.add_flops(1000.0, label="head")
+        comm.send(np.arange(8.0), 1)
+    else:
+        comm.recv(0)
+        comm.add_flops(500.0, label="tail")
+
+
+def matmul_prog(comm, n, c):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    return matmul_25d(comm, a, b, c=c)
+
+
+@pytest.fixture
+def traced_matmul(machine):
+    return run_spmd(8, matmul_prog, 16, 2, machine=machine, trace=True)
+
+
+class TestTimeline:
+    def test_requires_traced_run(self):
+        out = run_spmd(2, lambda comm: comm.add_flops(1))
+        with pytest.raises(ParameterError):
+            out.timeline()
+
+    def test_from_result(self, traced_matmul):
+        tl = traced_matmul.timeline()
+        assert tl.size == 8
+        assert tl.dropped == 0
+        assert all(tl.events(r) for r in range(8))
+
+    def test_find_resolves_refs(self, traced_matmul):
+        tl = traced_matmul.timeline()
+        resolved = 0
+        for rank in range(8):
+            for ev in tl.events(rank):
+                if ev.kind == "recv" and ev.ref is not None:
+                    sent = tl.find(*ev.ref)
+                    assert sent is not None
+                    assert sent.kind == "send"
+                    assert sent.peer == rank  # send targeted this rank
+                    assert sent.words == ev.words
+                    resolved += 1
+        assert resolved > 0
+
+    def test_breakdown_depth0_only(self, traced_matmul):
+        tl = traced_matmul.timeline()
+        b = tl.breakdown()
+        assert "bcast" in b and "reduce" in b and "compute" in b
+        # top-level spans only: the sends inside bcast/reduce must not
+        # appear again as p2p categories beyond Cannon's own shifts
+        assert b["compute"]["flops"] == pytest.approx(
+            traced_matmul.report.total_flops
+        )
+        assert b["bcast"]["words"] > 0
+
+    def test_render_breakdown(self, traced_matmul):
+        text = traced_matmul.timeline().render_breakdown()
+        assert "category" in text and "bcast" in text
+
+    def test_gantt(self, traced_matmul):
+        chart = traced_matmul.timeline().gantt(width=40)
+        lines = chart.splitlines()
+        assert any("rank 0" in ln for ln in lines)
+        assert any("rank 7" in ln for ln in lines)
+        assert "virtual time" in chart
+        assert "=" in chart and "#" in chart
+
+    def test_gantt_requires_machine(self):
+        out = run_spmd(2, lambda comm: comm.add_flops(1), trace=True)
+        with pytest.raises(ParameterError):
+            out.timeline().gantt()
+
+
+class TestCriticalPath:
+    def test_bit_exact_on_25d_matmul(self, traced_matmul):
+        cp = traced_matmul.timeline().critical_path()
+        # exact equality, not approx: the chain replays the very float
+        # additions that produced the finishing rank's clock
+        assert cp.total == traced_matmul.report.simulated_time
+        assert len(cp) > 0
+
+    def test_bit_exact_across_workloads(self, machine):
+        def ring(comm):
+            block = np.arange(32.0)
+            for step in range(3):
+                block = comm.shift(block, 1, tag=step)
+                comm.add_flops(64.0)
+
+        for prog in (ring, two_rank_stall):
+            out = run_spmd(4 if prog is ring else 2, prog,
+                           machine=machine, trace=True)
+            cp = out.timeline().critical_path()
+            assert cp.total == out.report.simulated_time
+
+    def test_chain_is_chronological_tiling(self, traced_matmul):
+        cp = traced_matmul.timeline().critical_path()
+        t = 0.0
+        for step in cp.steps:
+            assert step.event.t0 <= t + 1e-18 or step.seconds == 0.0
+            t = max(t, step.event.t1)
+        assert t == traced_matmul.report.simulated_time
+
+    def test_stall_jumps_to_sender(self, machine):
+        out = run_spmd(2, two_rank_stall, machine=machine, trace=True)
+        cp = out.timeline().critical_path()
+        chain_ranks = [s.rank for s in cp.steps]
+        # path starts on rank 0 (the head compute + send), ends on rank 1
+        assert chain_ranks[0] == 0
+        assert chain_ranks[-1] == 1
+        attr = cp.attribution()
+        assert attr["head"] == pytest.approx(machine.gamma_t * 1000.0)
+        assert attr["tail"] == pytest.approx(machine.gamma_t * 500.0)
+        assert attr["recv"] == 0.0  # stalls carry no cost of their own
+
+    def test_attribution_sums_to_total(self, traced_matmul):
+        cp = traced_matmul.timeline().critical_path()
+        assert sum(cp.attribution().values()) == pytest.approx(cp.total, rel=1e-12)
+
+    def test_render(self, traced_matmul):
+        text = traced_matmul.timeline().critical_path().render()
+        assert "critical path" in text
+        assert "chain:" in text
+
+    def test_requires_machine(self):
+        out = run_spmd(2, lambda comm: comm.add_flops(1), trace=True)
+        with pytest.raises(ParameterError):
+            out.timeline().critical_path()
+
+    def test_rejects_dropped_history(self, machine):
+        def chatty(comm):
+            for _ in range(16):
+                comm.add_flops(4.0)
+
+        out = run_spmd(1, chatty, machine=machine, trace=True, trace_capacity=4)
+        with pytest.raises(ParameterError, match="trace_capacity"):
+            out.timeline().critical_path()
+
+    def test_from_timeline_classmethod(self, traced_matmul):
+        tl = traced_matmul.timeline()
+        assert CriticalPath.from_timeline(tl).total == tl.report.simulated_time
+
+
+class TestChromeTrace:
+    def test_structure(self, traced_matmul):
+        tl = traced_matmul.timeline()
+        doc = tl.to_chrome_trace()
+        events = doc["traceEvents"]
+        # one named track per rank
+        meta = [e for e in events if e["ph"] == "M"]
+        assert sorted(e["tid"] for e in meta) == list(range(8))
+        assert all(e["name"] == "thread_name" for e in meta)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        for e in complete:
+            assert e["pid"] == 0
+            assert 0 <= e["tid"] < 8
+            assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+            assert e["name"]
+
+    def test_microsecond_scale(self, traced_matmul):
+        tl = traced_matmul.timeline()
+        doc = tl.to_chrome_trace()
+        max_end = max(
+            e["ts"] + e["dur"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "X"
+        )
+        assert max_end == pytest.approx(
+            traced_matmul.report.simulated_time * 1e6
+        )
+
+    def test_flow_events_pair_up(self, traced_matmul):
+        events = traced_matmul.timeline().to_chrome_trace()["traceEvents"]
+        starts = {e["id"] for e in events if e["ph"] == "s"}
+        ends = {e["id"] for e in events if e["ph"] == "f"}
+        assert starts and starts == ends
+        assert all(
+            e["ph"] != "f" or e.get("bp") == "e" for e in events
+        )
+
+    def test_flows_can_be_disabled(self, traced_matmul):
+        events = traced_matmul.timeline().to_chrome_trace(flows=False)[
+            "traceEvents"
+        ]
+        assert not [e for e in events if e["ph"] in ("s", "f")]
+
+    def test_json_round_trip_and_save(self, traced_matmul, tmp_path):
+        tl = traced_matmul.timeline()
+        path = tmp_path / "trace.json"
+        tl.save_chrome_trace(path)
+        data = json.loads(path.read_text())
+        assert data["traceEvents"] == json.loads(
+            json.dumps(tl.to_chrome_trace())
+        )["traceEvents"]

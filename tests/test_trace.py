@@ -10,7 +10,8 @@ from repro.simmpi.engine import run_spmd
 from repro.simmpi.trace import TraceReport
 
 
-def snap(rank, flops=0.0, ws=0, ms=0, wr=0, mr=0, peak=0):
+def snap(rank, flops=0.0, ws=0, ms=0, wr=0, mr=0, peak=0, vtime=0.0,
+         wsi=0, msi=0, wri=0, mri=0):
     return CounterSnapshot(
         rank=rank,
         flops=flops,
@@ -19,6 +20,11 @@ def snap(rank, flops=0.0, ws=0, ms=0, wr=0, mr=0, peak=0):
         words_received=wr,
         messages_received=mr,
         mem_peak_words=peak,
+        vtime=vtime,
+        words_sent_internode=wsi,
+        messages_sent_internode=msi,
+        words_received_internode=wri,
+        messages_received_internode=mri,
     )
 
 
@@ -45,10 +51,56 @@ class TestAggregation:
         rep2 = TraceReport(ranks=(snap(0, ws=5, ms=1, wr=4, mr=1),))
         assert not rep2.words_conserved()
 
+    def test_conservation_checks_internode_subtallies(self):
+        # Globally conserved, but a word metered internode on the sender
+        # arrived intranode on the receiver: must NOT count as conserved.
+        skewed = TraceReport(
+            ranks=(
+                snap(0, ws=5, ms=1, wsi=5, msi=1),
+                snap(1, wr=5, mr=1, wri=0, mri=0),
+            )
+        )
+        assert not skewed.words_conserved()
+        # Same message count crossing nodes but word sub-tally skewed.
+        word_skew = TraceReport(
+            ranks=(
+                snap(0, ws=5, ms=1, wsi=5, msi=1),
+                snap(1, wr=5, mr=1, wri=3, mri=1),
+            )
+        )
+        assert not word_skew.words_conserved()
+        balanced = TraceReport(
+            ranks=(
+                snap(0, ws=5, ms=1, wsi=5, msi=1),
+                snap(1, wr=5, mr=1, wri=5, mri=1),
+            )
+        )
+        assert balanced.words_conserved()
+
+    def test_conservation_through_twolevel_engine(self):
+        # Regression: a two-level ring shift crosses node boundaries and
+        # must conserve the internode sub-tallies end to end.
+        def prog(comm):
+            return comm.shift(np.arange(8.0), 1)
+
+        out = run_spmd(4, prog, node_size=2)
+        rep = out.report
+        assert rep.total_words_internode > 0
+        assert rep.words_conserved()
+
     def test_summary_contains_key_fields(self):
         rep = TraceReport(ranks=(snap(0, flops=10, ws=5, ms=1),))
         s = rep.summary()
         assert "p=1" in s and "W_max=5" in s
+
+    def test_summary_omits_time_without_machine(self):
+        rep = TraceReport(ranks=(snap(0, flops=10),))
+        assert "T_sim" not in rep.summary()
+
+    def test_summary_includes_simulated_time(self):
+        rep = TraceReport(ranks=(snap(0, vtime=1.5), snap(1, vtime=2.5)))
+        s = rep.summary()
+        assert "T_sim=2.5" in s
 
 
 class TestModelEvaluation:
@@ -90,6 +142,35 @@ class TestModelEvaluation:
         T = rep.estimate_time(machine).total
         assert e.memory == pytest.approx(
             machine.delta_e * machine.memory_words * T
+        )
+
+    def test_measured_peak_beats_machine_capacity(self, machine):
+        # Any nonzero measured peak wins over the (much larger) machine
+        # memory — the fallback must not be a max() of the two.
+        rep = TraceReport(ranks=(snap(0, flops=1, peak=64),))
+        T = rep.estimate_time(machine).total
+        e = rep.estimate_energy(machine)
+        assert e.memory == pytest.approx(machine.delta_e * 64 * T)
+        assert e.memory < machine.delta_e * machine.memory_words * T
+
+    def test_energy_default_memory_through_engine(self, machine):
+        # A run that tracks allocations feeds its measured peak into the
+        # default-memory path; one that doesn't falls back to capacity.
+        def tracked(comm):
+            comm.allocate(64)
+            comm.add_flops(10)
+            comm.release()
+
+        rep = run_spmd(2, tracked).report
+        T = rep.estimate_time(machine).total
+        e = rep.estimate_energy(machine)
+        assert e.memory == pytest.approx(2 * machine.delta_e * 64 * T)
+
+        rep0 = run_spmd(2, lambda comm: comm.add_flops(10)).report
+        T0 = rep0.estimate_time(machine).total
+        e0 = rep0.estimate_energy(machine)
+        assert e0.memory == pytest.approx(
+            2 * machine.delta_e * machine.memory_words * T0
         )
 
     def test_explicit_runtime(self, machine):
