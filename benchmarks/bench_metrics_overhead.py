@@ -1,27 +1,25 @@
-"""Wall-clock overhead of simmpi event tracing.
+"""Wall-clock overhead of simmpi runtime metrics.
 
-The tracing subsystem (:mod:`repro.simmpi.events`) promises two things
-this benchmark guards:
+The metrics subsystem (:mod:`repro.metrics`) makes the same promise the
+tracing layer does, and this benchmark guards it the same way:
 
-* ``trace=False`` (the default) costs nothing beyond one ``is None``
-  test per operation — timings with the hooks in place must stay within
-  noise of each other run-to-run;
-* ``trace=True`` pays a bounded, measured premium per event (ring
-  append of one dataclass), reported here so regressions in the hook
-  path show up PR over PR.
+* ``metrics=False`` (the default) costs nothing beyond one ``is None``
+  test per operation;
+* ``metrics=True`` pays a bounded premium per operation (a few counter
+  adds and a histogram bisect), reported here so regressions in the
+  hook path show up PR over PR.
 
-The workload is point-to-point heavy (a ring of small sendrecvs plus
-tiny metered kernels) because p2p hooks fire once per message — the
-worst case for per-event overhead, where a broadcast amortizes its span
-over p-1 sends. Counts are checked bit-identical between traced and
-untraced runs before any timing is trusted, and the traced run's event
-tallies are recorded alongside the timings in
-``BENCH_trace_overhead.json``.
+The workload is the same point-to-point-heavy ring as
+``bench_trace_overhead.py`` — p2p hooks fire once per message, the
+worst case for per-operation cost. Before any timing is trusted the
+benchmark asserts the library's correctness contract: per-rank counts
+are bit-identical metered or not, and (in a separate machine-modeled
+pair of runs) the per-rank virtual clocks are too.
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/bench_trace_overhead.py
-    PYTHONPATH=src python benchmarks/bench_trace_overhead.py --smoke
+    PYTHONPATH=src python benchmarks/bench_metrics_overhead.py
+    PYTHONPATH=src python benchmarks/bench_metrics_overhead.py --smoke
 """
 
 from __future__ import annotations
@@ -36,13 +34,13 @@ import numpy as np
 
 from repro.simmpi import SpmdPool
 
-SCHEMA = "bench_trace_overhead/v1"
+SCHEMA = "bench_metrics_overhead/v1"
 DEFAULT_SIZES = (8, 32)
 
 
 def ring_heavy(comm, words: int, rounds: int) -> float:
     """Each round: shift a small block around the ring and meter a tiny
-    kernel — one send+recv+flops event triple per rank per round."""
+    kernel — one send+recv+flops hook triple per rank per round."""
     block = np.full(words, float(comm.rank), dtype=np.float64)
     total = 0.0
     for _ in range(rounds):
@@ -52,15 +50,38 @@ def ring_heavy(comm, words: int, rounds: int) -> float:
     return total
 
 
-def _time_config(pool, p, words, rounds, repeats, timeout, trace):
-    """Warmup + timed repeats of one (p, trace) cell."""
-    warmup = pool.run(p, ring_heavy, words, rounds, timeout=timeout, trace=trace)
+def _time_config(pool, p, words, rounds, repeats, timeout, metrics):
+    """Warmup + timed repeats of one (p, metrics) cell."""
+    warmup = pool.run(
+        p, ring_heavy, words, rounds, timeout=timeout, metrics=metrics
+    )
     times = []
     for _ in range(repeats):
         start = time.perf_counter()
-        pool.run(p, ring_heavy, words, rounds, timeout=timeout, trace=trace)
+        pool.run(p, ring_heavy, words, rounds, timeout=timeout, metrics=metrics)
         times.append(time.perf_counter() - start)
     return times, warmup
+
+
+def _vtimes_identical(pool, p, words, rounds, timeout) -> bool:
+    """Machine-modeled pair of runs: the virtual clocks must be
+    bit-identical metered or not (metrics never touch the clock)."""
+    from repro.analysis.validation import default_machine
+
+    machine = default_machine()
+    clocks = {}
+    for metrics in (False, True):
+        out = pool.run(
+            p,
+            ring_heavy,
+            words,
+            rounds,
+            timeout=timeout,
+            machine=machine,
+            metrics=metrics,
+        )
+        clocks[metrics] = tuple(r.vtime for r in out.report.ranks)
+    return clocks[False] == clocks[True]
 
 
 def run_benchmark(
@@ -73,28 +94,26 @@ def run_benchmark(
     results = []
     overhead = {}
     counts_identical = True
+    vtimes_identical = True
 
     with SpmdPool() as pool:
         for p in sizes:
             cell = {}
             outs = {}
-            for trace in (False, True):
+            for metrics in (False, True):
                 times, out = _time_config(
-                    pool, p, words, rounds, repeats, timeout, trace
+                    pool, p, words, rounds, repeats, timeout, metrics
                 )
-                cell[trace] = times
-                outs[trace] = out
-                label = "traced " if trace else "untraced"
+                cell[metrics] = times
+                outs[metrics] = out
+                label = "metered  " if metrics else "unmetered"
                 results.append(
                     {
                         "p": p,
-                        "traced": trace,
+                        "metered": metrics,
                         "best_s": min(times),
                         "median_s": statistics.median(times),
                         "times_s": times,
-                        "events_recorded": sum(
-                            r.events_recorded for r in out.report.ranks
-                        ),
                     }
                 )
                 print(
@@ -106,10 +125,13 @@ def run_benchmark(
                 != outs[True].report.counts_signature()
             ):
                 counts_identical = False
-                print(f"p={p}: COUNTS DIVERGE BETWEEN TRACED AND UNTRACED")
+                print(f"p={p}: COUNTS DIVERGE BETWEEN METERED AND UNMETERED")
+            if not _vtimes_identical(pool, p, words, rounds, timeout):
+                vtimes_identical = False
+                print(f"p={p}: VIRTUAL CLOCKS DIVERGE UNDER METERING")
             ratio = min(cell[True]) / min(cell[False])
             overhead[str(p)] = ratio
-            print(f"p={p:4d} traced/untraced best-time ratio: {ratio:.3f}x")
+            print(f"p={p:4d} metered/unmetered best-time ratio: {ratio:.3f}x")
 
     return {
         "schema": SCHEMA,
@@ -118,6 +140,7 @@ def run_benchmark(
         "results": results,
         "overhead_ratio": overhead,
         "counts_identical": counts_identical,
+        "vtimes_identical": vtimes_identical,
     }
 
 
@@ -138,7 +161,7 @@ def main(argv=None) -> int:
     ap.add_argument(
         "--output", type=Path,
         default=Path(__file__).resolve().parent / "results"
-        / "BENCH_trace_overhead.json",
+        / "BENCH_metrics_overhead.json",
         help="where to write the JSON report (default benchmarks/results/)",
     )
     args = ap.parse_args(argv)
@@ -159,7 +182,7 @@ def main(argv=None) -> int:
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
-    if not report["counts_identical"]:
+    if not (report["counts_identical"] and report["vtimes_identical"]):
         return 1
     return 0
 

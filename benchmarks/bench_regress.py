@@ -1,0 +1,256 @@
+"""Benchmark regression gate: fresh numbers vs the committed baselines.
+
+The repo commits three performance baselines at its root —
+``BENCH_simmpi.json`` (pool+cow speedup over spawn+copy),
+``BENCH_trace_overhead.json`` (traced/untraced wall-clock ratio) and
+``BENCH_metrics_overhead.json`` (metered/unmetered ratio). This script
+is the PR gate over them:
+
+1. **Structural checks** — each baseline exists, parses, carries its
+   expected ``schema`` tag, and recorded the correctness flags
+   (``counts_identical``, ``vtimes_identical``) as true. These are hard
+   failures: a baseline that says counts diverged should never have
+   been committed.
+2. **Fresh smoke measurements** — re-runs each benchmark's workload in
+   a small configuration and compares the headline metric against the
+   baseline through the per-metric tolerance table below. Tolerances
+   are deliberately loose (CI wall-clock is noisy and the smoke
+   configuration is smaller than the baseline's): the gate catches
+   order-of-magnitude regressions — a pool that stopped beating spawn,
+   a hook path that got 2.5x slower — not single-digit drift.
+3. The fresh runs' own correctness flags must hold (bit-identical
+   counts with tracing/metrics on or off) — these are exact, not
+   tolerance-based.
+
+Writes a ``bench_regress/v1`` report to ``benchmarks/results/`` and
+exits nonzero on any violation. Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_regress.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+SCHEMA = "bench_regress/v1"
+
+#: baseline file -> expected schema and required-true correctness flags
+BASELINES = {
+    "BENCH_simmpi.json": {
+        "schema": "bench_simmpi_perf/v1",
+        "flags": ("counts_identical",),
+    },
+    "BENCH_trace_overhead.json": {
+        "schema": "bench_trace_overhead/v1",
+        "flags": ("counts_identical",),
+    },
+    "BENCH_metrics_overhead.json": {
+        "schema": "bench_metrics_overhead/v1",
+        "flags": ("counts_identical", "vtimes_identical"),
+    },
+}
+
+#: Per-metric tolerance table (see the module docstring for rationale).
+#: ``floor_*`` entries gate metrics that must stay high (speedups);
+#: ``ceil_*`` entries gate metrics that must stay low (overheads). The
+#: relative bound is taken against the baseline's reference value and
+#: combined with the absolute bound so a very tight baseline never
+#: produces an impossible gate.
+TOLERANCES = {
+    "simmpi_speedup": {"floor_abs": 1.2, "floor_frac": 0.12},
+    "trace_overhead_ratio": {"ceil_abs": 2.5, "ceil_frac": 2.5},
+    "metrics_overhead_ratio": {"ceil_abs": 2.0, "ceil_frac": 2.5},
+}
+
+
+def _check(checks: list, name: str, ok: bool, detail: str) -> bool:
+    checks.append({"name": name, "ok": bool(ok), "detail": detail})
+    status = "ok  " if ok else "FAIL"
+    print(f"[{status}] {name}: {detail}")
+    return ok
+
+
+def check_baselines(root: Path, checks: list) -> dict[str, dict]:
+    """Structural pass over every committed baseline."""
+    loaded = {}
+    for fname, spec in BASELINES.items():
+        path = root / fname
+        if not path.is_file():
+            _check(checks, f"{fname}:exists", False, f"missing at {path}")
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except ValueError as exc:
+            _check(checks, f"{fname}:parses", False, str(exc))
+            continue
+        _check(
+            checks,
+            f"{fname}:schema",
+            data.get("schema") == spec["schema"],
+            f"schema={data.get('schema')!r} expected={spec['schema']!r}",
+        )
+        for flag in spec["flags"]:
+            _check(
+                checks,
+                f"{fname}:{flag}",
+                data.get(flag) is True,
+                f"{flag}={data.get(flag)!r}",
+            )
+        loaded[fname] = data
+    return loaded
+
+
+def _floor(metric: str, baseline_value: float) -> float:
+    tol = TOLERANCES[metric]
+    return max(tol["floor_abs"], tol["floor_frac"] * baseline_value)
+
+def _ceil(metric: str, baseline_value: float) -> float:
+    tol = TOLERANCES[metric]
+    return max(tol["ceil_abs"], tol["ceil_frac"] * baseline_value)
+
+
+def regress_simmpi(baseline: dict, smoke: bool, checks: list) -> dict:
+    import bench_simmpi_perf
+
+    cfg = (
+        {"sizes": (8,), "words": 4096, "rounds": 2, "repeats": 2}
+        if smoke
+        else {"sizes": (16,), "words": 16384, "rounds": 2, "repeats": 3}
+    )
+    fresh = bench_simmpi_perf.run_benchmark(**cfg)
+    _check(
+        checks,
+        "simmpi:counts_identical(fresh)",
+        fresh["counts_identical"],
+        "pool/cow counts match spawn/copy",
+    )
+    ref_p = min(baseline["speedup"], key=int)
+    ref = baseline["speedup"][ref_p]
+    value = min(fresh["speedup"].values())
+    floor = _floor("simmpi_speedup", ref)
+    _check(
+        checks,
+        "simmpi:speedup",
+        value >= floor,
+        f"fresh={value:.2f}x floor={floor:.2f}x "
+        f"(baseline p={ref_p}: {ref:.2f}x)",
+    )
+    return fresh
+
+
+def regress_trace(baseline: dict, smoke: bool, checks: list) -> dict:
+    import bench_trace_overhead
+
+    cfg = (
+        {"sizes": (8,), "rounds": 40, "repeats": 2}
+        if smoke
+        else {"sizes": (8,), "rounds": 100, "repeats": 3}
+    )
+    fresh = bench_trace_overhead.run_benchmark(**cfg)
+    _check(
+        checks,
+        "trace:counts_identical(fresh)",
+        fresh["counts_identical"],
+        "traced counts match untraced",
+    )
+    ref = max(baseline["overhead_ratio"].values())
+    value = max(fresh["overhead_ratio"].values())
+    ceil = _ceil("trace_overhead_ratio", ref)
+    _check(
+        checks,
+        "trace:overhead_ratio",
+        value <= ceil,
+        f"fresh={value:.2f}x ceil={ceil:.2f}x (baseline max: {ref:.2f}x)",
+    )
+    return fresh
+
+
+def regress_metrics(baseline: dict, smoke: bool, checks: list) -> dict:
+    import bench_metrics_overhead
+
+    cfg = (
+        {"sizes": (8,), "rounds": 40, "repeats": 2}
+        if smoke
+        else {"sizes": (8,), "rounds": 100, "repeats": 3}
+    )
+    fresh = bench_metrics_overhead.run_benchmark(**cfg)
+    _check(
+        checks,
+        "metrics:counts_identical(fresh)",
+        fresh["counts_identical"],
+        "metered counts match unmetered",
+    )
+    _check(
+        checks,
+        "metrics:vtimes_identical(fresh)",
+        fresh["vtimes_identical"],
+        "metered virtual clocks match unmetered",
+    )
+    ref = max(baseline["overhead_ratio"].values())
+    value = max(fresh["overhead_ratio"].values())
+    ceil = _ceil("metrics_overhead_ratio", ref)
+    _check(
+        checks,
+        "metrics:overhead_ratio",
+        value <= ceil,
+        f"fresh={value:.2f}x ceil={ceil:.2f}x (baseline max: {ref:.2f}x)",
+    )
+    return fresh
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="smallest configuration (CI gate)")
+    ap.add_argument("--structural-only", action="store_true",
+                    help="check the committed baselines without re-running "
+                    "any benchmark")
+    ap.add_argument(
+        "--output", type=Path, default=RESULTS_DIR / "bench_regress.json",
+        help="where to write the JSON report (default benchmarks/results/)",
+    )
+    args = ap.parse_args(argv)
+
+    # Allow running both as `python benchmarks/bench_regress.py` and via
+    # an importer that didn't put benchmarks/ on the path.
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+    checks: list[dict] = []
+    baselines = check_baselines(REPO_ROOT, checks)
+    fresh: dict[str, dict] = {}
+    if not args.structural_only:
+        runners = {
+            "BENCH_simmpi.json": regress_simmpi,
+            "BENCH_trace_overhead.json": regress_trace,
+            "BENCH_metrics_overhead.json": regress_metrics,
+        }
+        for fname, runner in runners.items():
+            if fname not in baselines:
+                continue  # structural failure already recorded
+            print(f"\n== {fname} ==")
+            fresh[fname] = runner(baselines[fname], args.smoke, checks)
+
+    ok = all(c["ok"] for c in checks)
+    report = {
+        "schema": SCHEMA,
+        "smoke": args.smoke,
+        "ok": ok,
+        "checks": checks,
+        "fresh": fresh,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    failed = sum(1 for c in checks if not c["ok"])
+    print(
+        f"\n{len(checks)} checks, {failed} failed — report at {args.output}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -146,8 +146,11 @@ def main(argv=None) -> int:
                     help="rank counts to benchmark (default 16 64 256)")
     ap.add_argument("--timeout", type=float, default=120.0,
                     help="simulator deadlock watchdog seconds (default 120)")
-    ap.add_argument("--output", type=Path, default=Path("BENCH_simmpi.json"),
-                    help="where to write the JSON report")
+    ap.add_argument(
+        "--output", type=Path,
+        default=Path(__file__).resolve().parent / "results" / "BENCH_simmpi.json",
+        help="where to write the JSON report (default benchmarks/results/)",
+    )
     args = ap.parse_args(argv)
     if args.words < 1 or args.rounds < 1 or args.repeats < 1:
         ap.error("--words, --rounds and --repeats must all be >= 1")
@@ -161,6 +164,7 @@ def main(argv=None) -> int:
         repeats=args.repeats,
         timeout=args.timeout,
     )
+    args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
     if not report["counts_identical"]:

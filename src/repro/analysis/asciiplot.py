@@ -11,6 +11,10 @@ Three primitives cover everything the figures and traces need:
   spans (later spans overdraw earlier ones), used by
   :meth:`repro.analysis.timeline.Timeline.gantt` for per-rank event
   timelines.
+* :func:`stacked_bars` — labeled horizontal bars split into glyph
+  segments, used by :class:`repro.analysis.profiler.ModelProfile` to
+  show which model term dominates each rank's time and the run's
+  energy.
 
 All return plain strings (testable, pipeable); the CLI's ``--plot``
 flags, the ``trace`` subcommand and the examples use them.
@@ -25,7 +29,7 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 
-__all__ = ["line_plot", "region_plot", "gantt_chart"]
+__all__ = ["line_plot", "region_plot", "gantt_chart", "stacked_bars"]
 
 _GLYPHS = "*o+x#@%&"
 
@@ -173,6 +177,62 @@ def gantt_chart(
     lines.append("".join(buf).rstrip() + f"   [{t_label}]")
     if legend:
         lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    rows: dict[str, dict[str, float]],
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal stacked bars: one labeled bar per row, split into
+    glyph-coded segments.
+
+    ``rows`` maps a bar label (e.g. ``"rank 3"``) to an ordered
+    ``{segment: value}`` mapping; segments must be >= 0. All bars share
+    one linear scale (the largest bar total spans ``width`` cells), so
+    both the bar lengths and their segment mixes are comparable.
+    Segment glyphs are assigned in first-appearance order across rows
+    and listed in the trailing legend. Each bar prints its total at the
+    end (suffixed with ``unit``). Cell edges are computed on the
+    *cumulative* values, so segment rounding errors never change a
+    bar's overall length; segments too thin for a cell may vanish.
+    """
+    if width < 8:
+        raise ParameterError("stacked bars must be at least 8 characters wide")
+    if not rows:
+        raise ParameterError("need at least one bar")
+    segments: list[str] = []
+    for bar in rows.values():
+        for name, value in bar.items():
+            if value < 0:
+                raise ParameterError(
+                    f"segment {name!r} must be >= 0, got {value!r}"
+                )
+            if name not in segments:
+                segments.append(name)
+    totals = {label: sum(bar.values()) for label, bar in rows.items()}
+    scale = max(totals.values())
+    label_w = max(len(label) for label in rows) + 1
+    glyph = {name: _GLYPHS[i % len(_GLYPHS)] for i, name in enumerate(segments)}
+
+    lines = []
+    if title:
+        lines.append(title)
+    for label, bar in rows.items():
+        row = [" "] * width
+        cum = 0.0
+        for name, value in bar.items():
+            c0 = int(round(cum / scale * width)) if scale else 0
+            cum += value
+            c1 = int(round(cum / scale * width)) if scale else 0
+            for c in range(c0, min(c1, width)):
+                row[c] = glyph[name]
+        suffix = f" {totals[label]:.4g}{unit}"
+        lines.append(f"{label:>{label_w}s} |{''.join(row)}|{suffix}")
+    legend = "  ".join(f"{glyph[name]} {name}" for name in segments)
+    lines.append(" " * (label_w + 2) + legend)
     return "\n".join(lines)
 
 

@@ -28,6 +28,7 @@ approximately (a test enforces it on a machine-modeled 2.5D matmul run).
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 
 from repro.analysis.asciiplot import gantt_chart
@@ -73,6 +74,15 @@ class Timeline:
             raise ParameterError("timeline needs at least one event log")
         self.logs = tuple(logs)
         self.report = report
+        if self.dropped:
+            warnings.warn(
+                f"{self.dropped} trace events were dropped by ring overflow "
+                f"(per rank: {self.dropped_by_rank()}); breakdowns undercount "
+                f"and the critical path will refuse to build — rerun with a "
+                f"larger trace_capacity",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     @classmethod
     def from_result(cls, result: SpmdResult) -> "Timeline":
@@ -90,6 +100,14 @@ class Timeline:
     def dropped(self) -> int:
         """Events lost to ring wraparound, summed over ranks."""
         return sum(log.dropped for log in self.logs)
+
+    def dropped_by_rank(self) -> dict[int, int]:
+        """Per-rank drop counts, only ranks that actually overflowed."""
+        return {
+            rank: log.dropped
+            for rank, log in enumerate(self.logs)
+            if log.dropped
+        }
 
     def events(self, rank: int) -> list[Event]:
         """Rank's surviving events in chronological order."""

@@ -9,6 +9,11 @@
     python -m repro validate        # measured-vs-model sweeps (simulator)
     python -m repro questions       # Section V answers on Table I
     python -m repro trace matmul25d # traced run: timeline + critical path
+    python -m repro profile cannon  # per-term Eq. (1)/(2) attribution
+
+``trace`` and ``profile`` accept ``--json`` for machine-readable
+output; ``profile --metrics-out`` dumps the run's metrics registry in
+Prometheus text format.
 
 Everything prints the same rows the benchmark harness persists under
 ``benchmarks/results/`` — the CLI is the interactive face of the same
@@ -290,6 +295,8 @@ def _build_trace_program(workload: str, p: int, n: int):
 
 
 def _cmd_trace(args) -> None:
+    import json
+
     from repro.analysis.validation import default_machine
     from repro.exceptions import ReproError
     from repro.simmpi import run_spmd
@@ -309,26 +316,115 @@ def _cmd_trace(args) -> None:
         )
         timeline = out.timeline()
         report = out.report
-        print(f"{label} on p={p}: {report.summary()}")
-        if timeline.dropped:
-            print(
-                f"warning: {timeline.dropped} events dropped by ring "
-                f"overflow; rerun with a larger --capacity"
-            )
-        print()
-        print(timeline.render_breakdown())
-        print()
-        print(timeline.gantt(width=args.width))
-        print()
-        print(timeline.critical_path().render())
+        if args.json:
+            cp = timeline.critical_path() if not timeline.dropped else None
+            payload = {
+                "schema": "repro_trace/v1",
+                "workload": args.workload,
+                "label": label,
+                "p": p,
+                "n": n,
+                "counts": {
+                    "total_flops": report.total_flops,
+                    "max_words": report.max_words,
+                    "max_messages": report.max_messages,
+                    "max_mem_peak": report.max_mem_peak,
+                },
+                "simulated_time": report.simulated_time,
+                "dropped_events": timeline.dropped,
+                "dropped_by_rank": timeline.dropped_by_rank(),
+                "breakdown": timeline.breakdown(),
+                "critical_path": None
+                if cp is None
+                else {
+                    "total": cp.total,
+                    "events": len(cp),
+                    "attribution": cp.attribution(),
+                },
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"{label} on p={p}: {report.summary()}")
+            if timeline.dropped:
+                print(
+                    f"warning: {timeline.dropped} events dropped by ring "
+                    f"overflow; rerun with a larger --capacity"
+                )
+            print()
+            print(timeline.render_breakdown())
+            print()
+            print(timeline.gantt(width=args.width))
+            print()
+            print(timeline.critical_path().render())
         if args.out:
             timeline.save_chrome_trace(args.out)
-            print(
-                f"\nwrote {args.out} — load it at https://ui.perfetto.dev "
-                f"or chrome://tracing"
-            )
+            if not args.json:
+                print(
+                    f"\nwrote {args.out} — load it at https://ui.perfetto.dev "
+                    f"or chrome://tracing"
+                )
     except ReproError as exc:
         raise SystemExit(f"repro trace: {exc}") from exc
+
+
+def _cmd_profile(args) -> None:
+    import json
+
+    from repro.analysis.profiler import (
+        ModelProfile,
+        profile_strong_scaling_matmul,
+        render_term_sweep,
+    )
+    from repro.analysis.validation import default_machine
+    from repro.exceptions import ReproError
+    from repro.simmpi import run_spmd
+
+    machine = default_machine()
+    try:
+        if args.sweep:
+            if args.workload != "matmul25d":
+                raise SystemExit(
+                    "repro profile: --sweep is the fixed-tile 2.5D strong-"
+                    "scaling experiment and only supports matmul25d"
+                )
+            n = 48 if args.n is None else args.n
+            profiles = profile_strong_scaling_matmul(n, q=4, c_values=(1, 2, 4))
+            if args.json:
+                payload = {
+                    "schema": "repro_profile_sweep/v1",
+                    "points": [prof.to_json() for prof in profiles],
+                }
+                print(json.dumps(payload, indent=2))
+            else:
+                print(render_term_sweep(profiles))
+            return
+        spec = TRACE_WORKLOADS[args.workload]
+        p = spec[0] if args.p is None else args.p
+        n = spec[1] if args.n is None else args.n
+        program, prog_args, label = _build_trace_program(args.workload, p, n)
+        out = run_spmd(
+            p,
+            program,
+            *prog_args,
+            machine=machine,
+            trace=True,
+            trace_capacity=args.capacity,
+            metrics=True,
+        )
+        profile = ModelProfile.from_result(out, machine, label=label)
+        if args.json:
+            print(json.dumps(profile.to_json(), indent=2))
+        else:
+            print(profile.render(width=args.width))
+        if args.metrics_out:
+            from repro.metrics import to_prometheus
+
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(to_prometheus(out.metrics))
+            if not args.json:
+                print(f"\nwrote {args.metrics_out} (Prometheus text format)")
+    except ReproError as exc:
+        raise SystemExit(f"repro profile: {exc}") from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -385,10 +481,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pt.add_argument("--width", type=int, default=72, help="gantt chart width")
     pt.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report instead of the text views",
+    )
+    pt.add_argument(
         "--out", default=None, metavar="TRACE_JSON",
         help="write a Chrome/Perfetto trace.json here",
     )
     pt.set_defaults(fn=_cmd_trace)
+    pp = sub.add_parser(
+        "profile",
+        help="run a workload and attribute modeled time/energy per term",
+        description=(
+            "Run one simulated workload (traced + metered) on the validation "
+            "machine and print the Eq. (1)/(2) per-term attribution: term "
+            "totals, per-rank stacked bars, the energy split and the "
+            "depth-0 phase table. Term sums reproduce the TraceReport "
+            "estimates bit-exactly."
+        ),
+        epilog="workloads:\n" + workload_lines,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    pp.add_argument("workload", choices=sorted(TRACE_WORKLOADS))
+    pp.add_argument("--p", type=int, default=None, help="rank count")
+    pp.add_argument("--n", type=int, default=None, help="problem size")
+    pp.add_argument(
+        "--capacity", type=int, default=None, help="per-rank event ring size"
+    )
+    pp.add_argument("--width", type=int, default=48, help="stacked bar width")
+    pp.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report instead of the text views",
+    )
+    pp.add_argument(
+        "--sweep", action="store_true",
+        help="fixed-tile strong-scaling sweep per term (matmul25d only; "
+        "p = 16, 32, 64 at constant per-rank tiles)",
+    )
+    pp.add_argument(
+        "--metrics-out", default=None, metavar="PROM_TXT",
+        help="write the run's metrics registry here (Prometheus text format)",
+    )
+    pp.set_defaults(fn=_cmd_profile)
     return parser
 
 

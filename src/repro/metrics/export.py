@@ -1,0 +1,99 @@
+"""Exporters: a :class:`MetricsRegistry` as Prometheus text or JSON.
+
+``to_prometheus`` emits the text exposition format (version 0.0.4) —
+``# HELP``/``# TYPE`` headers once per family, histogram children as
+cumulative ``_bucket{le=...}`` samples plus ``_sum``/``_count`` — so a
+dump can be pushed through a Pushgateway or diffed as a stable artifact
+in CI. ``to_json_dict`` is the machine-readable twin the benchmarks and
+the ``--json`` CLI flags embed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.metrics.registry import Histogram, MetricsRegistry
+
+__all__ = ["to_prometheus", "to_json_dict", "to_json"]
+
+SCHEMA = "repro_metrics/v1"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _labelset(labels: tuple[tuple[str, str], ...], extra: tuple[tuple[str, str], ...] = ()):
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    if v == -math.inf:
+        return "-Inf"
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+def _le_label(bound: float) -> str:
+    return "+Inf" if bound == math.inf else _format_value(bound)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (0.0.4)."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for inst in registry.metrics():
+        if inst.name not in seen_headers:
+            seen_headers.add(inst.name)
+            if inst.help:
+                lines.append(f"# HELP {inst.name} {_escape(inst.help)}")
+            lines.append(f"# TYPE {inst.name} {inst.kind}")
+        if isinstance(inst, Histogram):
+            cumulative = inst.cumulative()
+            for bound, cum in zip(inst.bounds + (math.inf,), cumulative):
+                labels = _labelset(inst.labels, (("le", _le_label(bound)),))
+                lines.append(f"{inst.name}_bucket{labels} {cum}")
+            lines.append(
+                f"{inst.name}_sum{_labelset(inst.labels)} {_format_value(inst.sum)}"
+            )
+            lines.append(f"{inst.name}_count{_labelset(inst.labels)} {inst.count}")
+        else:
+            lines.append(
+                f"{inst.name}{_labelset(inst.labels)} {_format_value(inst.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json_dict(registry: MetricsRegistry) -> dict:
+    """The registry as a JSON-serializable dict (schema-versioned)."""
+    metrics = []
+    for inst in registry.metrics():
+        entry: dict = {
+            "name": inst.name,
+            "kind": inst.kind,
+            "labels": dict(inst.labels),
+        }
+        if inst.help:
+            entry["help"] = inst.help
+        if isinstance(inst, Histogram):
+            entry["buckets"] = list(inst.bounds)
+            entry["counts"] = list(inst.counts)  # non-cumulative; +Inf last
+            entry["sum"] = inst.sum
+            entry["count"] = inst.count
+        else:
+            entry["value"] = inst.value
+        metrics.append(entry)
+    return {"schema": SCHEMA, "metrics": metrics}
+
+
+def to_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
+    """``to_json_dict`` rendered as a JSON string."""
+    return json.dumps(to_json_dict(registry), indent=indent)

@@ -44,6 +44,9 @@ class SpmdResult:
     #: per-rank EventLogs when the run was traced (``trace=True``),
     #: else None — input to the :mod:`repro.analysis.timeline` analyses
     event_logs: tuple | None = None
+    #: merged run-level :class:`~repro.metrics.registry.MetricsRegistry`
+    #: when the run was metered (``metrics=True``), else None
+    metrics: object | None = None
 
     def __iter__(self):
         return iter(self.results)
@@ -78,8 +81,16 @@ def _finalize(
         raise RankFailedError(primary or failures)
 
     report = TraceReport(ranks=tuple(c.snapshot() for c in world.counters))
+    metrics = None
+    if world.rank_metrics is not None:
+        from repro.metrics.runtime import collect_run_metrics
+
+        metrics = collect_run_metrics(world)
     return SpmdResult(
-        results=tuple(results), report=report, event_logs=world.event_logs
+        results=tuple(results),
+        report=report,
+        event_logs=world.event_logs,
+        metrics=metrics,
     )
 
 
@@ -94,6 +105,7 @@ def run_spmd(
     payload_mode: str = "cow",
     trace: bool = False,
     trace_capacity: int | None = None,
+    metrics: bool = False,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``program(comm, *args, **kwargs)`` on ``size`` simulated ranks.
@@ -136,6 +148,12 @@ def run_spmd(
         Per-rank event ring size (default
         :data:`~repro.simmpi.events.DEFAULT_TRACE_CAPACITY`); overflow
         drops the oldest events.
+    metrics:
+        Record runtime metrics (message-size / collective-fan-out /
+        mailbox-depth histograms, send totals, trace-ring health) into
+        per-rank registries merged onto ``SpmdResult.metrics``. Counts
+        and virtual clocks are bit-identical metered or not; the
+        unmetered default pays only one ``is None`` test per operation.
 
     Raises
     ------
@@ -151,6 +169,7 @@ def run_spmd(
         payload_mode=payload_mode,
         trace=trace,
         trace_capacity=trace_capacity,
+        metrics=metrics,
     )
     results: list[Any] = [None] * size
     failures: dict[int, BaseException] = {}

@@ -209,12 +209,24 @@ class _CollectiveSpan:
     collective charged. Nested collectives (e.g. the scatter+allgather
     inside a large-message bcast) record at increasing ``depth``;
     breakdowns aggregate depth-0 spans only to avoid double counting.
+
+    The span doubles as the metrics hook for collectives: when the run
+    is metered (``metrics=True``), entering a *depth-0* span records the
+    call and the communicator's fan-out into the rank's
+    :class:`~repro.metrics.runtime.RankMetrics`. The metrics nesting
+    depth is tracked on the RankMetrics itself so metering works with
+    tracing off (and matches ``elog.span_depth`` when both are on).
     """
 
-    __slots__ = ("_elog", "_counter", "_name", "_detail", "_t0", "_w0", "_m0", "_f0")
+    __slots__ = (
+        "_elog", "_mx", "_size", "_counter", "_name", "_detail",
+        "_t0", "_w0", "_m0", "_f0",
+    )
 
-    def __init__(self, elog: EventLog, counter, name: str, detail: str):
+    def __init__(self, elog, mx, size: int, counter, name: str, detail: str):
         self._elog = elog
+        self._mx = mx
+        self._size = size
         self._counter = counter
         self._name = name
         self._detail = detail
@@ -225,13 +237,24 @@ class _CollectiveSpan:
         self._w0 = c.words_sent
         self._m0 = c.messages_sent
         self._f0 = c.flops
-        self._elog.span_depth += 1
+        if self._elog is not None:
+            self._elog.span_depth += 1
+        mx = self._mx
+        if mx is not None:
+            if mx.span_depth == 0:
+                mx.observe_collective(self._name, self._size)
+            mx.span_depth += 1
         return self
 
     def __exit__(self, *exc_info) -> bool:
+        if self._mx is not None:
+            self._mx.span_depth -= 1
+        elog = self._elog
+        if elog is None:
+            return False
         c = self._counter
-        self._elog.span_depth -= 1
-        self._elog.append(
+        elog.span_depth -= 1
+        elog.append(
             "coll",
             self._t0,
             c.vtime,
@@ -245,12 +268,14 @@ class _CollectiveSpan:
 
 
 def collective_span(comm, name: str, detail: str = ""):
-    """Context manager tracing one collective call on ``comm``.
+    """Context manager tracing/metering one collective call on ``comm``.
 
-    Returns a shared no-op object when the world is untraced, so the
-    default path pays one attribute test and no allocation.
+    Returns a shared no-op object when the world is neither traced nor
+    metered, so the default path pays two attribute tests and no
+    allocation.
     """
     elog = comm._elog
-    if elog is None:
+    mx = comm._mx
+    if elog is None and mx is None:
         return _NULL_SPAN
-    return _CollectiveSpan(elog, comm.counter, name, detail)
+    return _CollectiveSpan(elog, mx, comm.size, comm.counter, name, detail)

@@ -38,10 +38,15 @@ ANY_TAG: object = object()
 class Mailbox:
     """Per-rank inbox with blocking, channel-matched receives."""
 
-    __slots__ = ("owner_rank", "_lock", "_ready", "_boxes", "_stamp")
+    __slots__ = ("owner_rank", "metrics", "_lock", "_ready", "_boxes", "_stamp", "_pending")
 
     def __init__(self, owner_rank: int):
         self.owner_rank = owner_rank
+        #: owner rank's RankMetrics when the run is metered, else None;
+        #: depth observations happen under the mailbox lock, so senders
+        #: racing on put() are serialized and the owner never touches
+        #: this histogram elsewhere
+        self.metrics = None
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         # (source_world_rank, context_id) -> {tag: FIFO of (stamp, payload)}
@@ -49,6 +54,8 @@ class Mailbox:
         self._boxes: dict[tuple[int, Hashable], dict[Hashable, deque]] = {}
         # Monotone arrival counter; stamps order messages for ANY_TAG.
         self._stamp = 0
+        # Live undelivered-message count (kept exact under the lock).
+        self._pending = 0
 
     def put(self, source: int, context: Hashable, tag: Hashable, payload: Any) -> None:
         """Deposit a message (called from the sender's thread)."""
@@ -62,6 +69,9 @@ class Mailbox:
                 chan = box[tag] = deque()
             self._stamp += 1
             chan.append((self._stamp, payload))
+            self._pending += 1
+            if self.metrics is not None:
+                self.metrics.mailbox_depth.observe(self._pending)
             self._ready.notify_all()
 
     def get(
@@ -121,6 +131,7 @@ class Mailbox:
             if chan is None:
                 return _NOTHING
         _stamp, payload = chan.popleft()
+        self._pending -= 1
         if not chan:
             del box[tag]
             if not box:
@@ -136,7 +147,7 @@ class Mailbox:
     def pending(self) -> int:
         """Number of undelivered messages (diagnostics)."""
         with self._lock:
-            return sum(len(c) for box in self._boxes.values() for c in box.values())
+            return self._pending
 
     def interrupt(self) -> None:
         """Wake all blocked receivers (engine uses this on rank failure)."""

@@ -35,6 +35,7 @@ from __future__ import annotations
 import math
 import queue
 import threading
+import time
 from typing import Any, Callable
 
 from repro.simmpi.comm import Comm
@@ -73,6 +74,14 @@ class SpmdPool:
     ----------
     initial_workers:
         Workers to start eagerly (the pool still grows on demand).
+    metrics:
+        When True, the pool keeps a :class:`~repro.metrics.registry.MetricsRegistry`
+        of worker utilization — ``simmpi_pool_jobs_total`` and
+        ``simmpi_pool_busy_seconds_total`` per worker (labeled
+        ``worker=<index>``) plus a ``simmpi_pool_workers`` gauge —
+        exposed via :attr:`metrics`. Off by default; the disabled worker
+        loop is unchanged. This is independent of the per-run
+        ``metrics=`` flag of :meth:`run`.
 
     The pool is a context manager; leaving the ``with`` block shuts the
     workers down. A pool survives failed runs — a program raising in
@@ -81,7 +90,7 @@ class SpmdPool:
     usable for the next :meth:`run`.
     """
 
-    def __init__(self, initial_workers: int = 0):
+    def __init__(self, initial_workers: int = 0, metrics: bool = False):
         if initial_workers < 0:
             raise ValueError(
                 f"initial_workers must be >= 0, got {initial_workers}"
@@ -91,6 +100,15 @@ class SpmdPool:
         self._run_lock = threading.Lock()  # serializes run()s
         self._state_lock = threading.Lock()  # guards grow/shutdown
         self._closed = False
+        self._metrics = None
+        self._workers_gauge = None
+        if metrics:
+            from repro.metrics.registry import MetricsRegistry
+
+            self._metrics = MetricsRegistry()
+            self._workers_gauge = self._metrics.gauge(
+                "simmpi_pool_workers", help="Live pool worker threads."
+            )
         if initial_workers:
             self._grow(initial_workers)
 
@@ -100,6 +118,12 @@ class SpmdPool:
     def workers(self) -> int:
         """Number of live worker threads."""
         return len(self._threads)
+
+    @property
+    def metrics(self):
+        """The pool's worker-utilization registry (None unless the pool
+        was built with ``metrics=True``)."""
+        return self._metrics
 
     def __enter__(self) -> "SpmdPool":
         return self
@@ -125,15 +149,32 @@ class SpmdPool:
             while len(self._threads) < target:
                 idx = len(self._threads)
                 q: queue.SimpleQueue = queue.SimpleQueue()
+                usage = None
+                if self._metrics is not None:
+                    labels = {"worker": str(idx)}
+                    usage = (
+                        self._metrics.counter(
+                            "simmpi_pool_jobs_total",
+                            labels=labels,
+                            help="Rank jobs executed per pool worker.",
+                        ),
+                        self._metrics.counter(
+                            "simmpi_pool_busy_seconds_total",
+                            labels=labels,
+                            help="Wall-clock seconds per worker spent running rank jobs.",
+                        ),
+                    )
                 t = threading.Thread(
                     target=_worker_loop,
-                    args=(q,),
+                    args=(q, usage),
                     name=f"simmpi-pool-{idx}",
                     daemon=True,
                 )
                 self._queues.append(q)
                 self._threads.append(t)
                 t.start()
+            if self._workers_gauge is not None:
+                self._workers_gauge.set(len(self._threads))
 
     # -- execution -------------------------------------------------------
 
@@ -149,6 +190,7 @@ class SpmdPool:
         payload_mode: str = "cow",
         trace: bool = False,
         trace_capacity: int | None = None,
+        metrics: bool = False,
         **kwargs: Any,
     ) -> SpmdResult:
         """Run ``program(comm, *args, **kwargs)`` on ``size`` pooled ranks.
@@ -156,7 +198,8 @@ class SpmdPool:
         Drop-in equivalent of :func:`~repro.simmpi.engine.run_spmd` —
         identical signature, results, trace counts, and failure
         behavior (including ``trace=``/``trace_capacity=`` event
-        tracing) — minus the per-call thread spawn/join.
+        tracing and ``metrics=`` run metrics) — minus the per-call
+        thread spawn/join.
         """
         world = World(
             size,
@@ -167,6 +210,7 @@ class SpmdPool:
             payload_mode=payload_mode,
             trace=trace,
             trace_capacity=trace_capacity,
+            metrics=metrics,
         )
         results: list[Any] = [None] * size
         failures: dict[int, BaseException] = {}
@@ -211,12 +255,16 @@ class _Job:
             setattr(self, name, value)
 
 
-def _worker_loop(q: queue.SimpleQueue) -> None:
+def _worker_loop(q: queue.SimpleQueue, usage=None) -> None:
+    # ``usage`` is this worker's (jobs counter, busy-seconds counter)
+    # pair when the pool meters utilization, else None. Both instruments
+    # are private to this thread, so bare attribute adds are safe.
     while True:
         item = q.get()
         if item is None:
             return
         rank, job = item
+        start = time.perf_counter() if usage is not None else 0.0
         comm = Comm(job.world, group=range(job.world.size), rank=rank)
         try:
             job.results[rank] = job.program(comm, *job.args, **job.kwargs)
@@ -225,6 +273,9 @@ def _worker_loop(q: queue.SimpleQueue) -> None:
                 job.failures[rank] = exc
             job.world.abort()
         finally:
+            if usage is not None:
+                usage[0].value += 1.0
+                usage[1].value += time.perf_counter() - start
             job.latch.count_down()
 
 

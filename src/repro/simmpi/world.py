@@ -59,6 +59,14 @@ class World:
     trace_capacity:
         Per-rank event ring capacity; older events are overwritten once
         it is exceeded (counted in ``CounterSnapshot.events_dropped``).
+    metrics:
+        When True, every rank records runtime metrics (message-size,
+        collective fan-out and mailbox-depth distributions, send
+        totals, trace-ring health) into a per-rank
+        :class:`~repro.metrics.runtime.RankMetrics`, merged at run end
+        into ``SpmdResult.metrics``. Off by default — the disabled path
+        pays only one ``is None`` test per operation, and counts and
+        virtual clocks are bit-identical either way.
     """
 
     def __init__(
@@ -71,6 +79,7 @@ class World:
         payload_mode: str = "cow",
         trace: bool = False,
         trace_capacity: int | None = None,
+        metrics: bool = False,
     ):
         if size < 1:
             raise ValueError(f"world size must be >= 1, got {size}")
@@ -114,6 +123,14 @@ class World:
             )
             for counter, log in zip(self.counters, self.event_logs):
                 counter.elog = log
+        #: per-rank RankMetrics when metered, else None (zero-overhead path)
+        self.rank_metrics = None
+        if metrics:
+            from repro.metrics.runtime import RankMetrics
+
+            self.rank_metrics = tuple(RankMetrics(r) for r in range(size))
+            for box, rm in zip(self.mailboxes, self.rank_metrics):
+                box.metrics = rm
         #: set once any rank raises; receivers poll it via interrupt()
         self.failed = threading.Event()
 

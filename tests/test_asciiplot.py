@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.asciiplot import line_plot, region_plot
+from repro.analysis.asciiplot import line_plot, region_plot, stacked_bars
 from repro.exceptions import ParameterError
 
 
@@ -65,6 +65,51 @@ class TestLinePlot:
     def test_constant_series_ok(self):
         out = line_plot([1.0, 2.0], {"c": [5.0, 5.0]})
         assert "*" in out
+
+
+class TestStackedBars:
+    def test_segments_share_scale_and_glyphs(self):
+        out = stacked_bars(
+            {"x": {"a": 3.0, "b": 1.0}, "y": {"a": 1.0, "b": 1.0}},
+            width=16,
+            unit=" s",
+        )
+        lines = out.splitlines()
+        x_row = next(ln for ln in lines if ln.lstrip().startswith("x"))
+        y_row = next(ln for ln in lines if ln.lstrip().startswith("y"))
+        # x totals 4 (the scale): 3/4 of 16 cells are 'a', 1/4 are 'b';
+        # y totals 2, so its bar is half as long on the shared scale.
+        assert x_row.count("*") == 12 and x_row.count("o") == 4
+        assert y_row.count("*") == 4 and y_row.count("o") == 4
+        assert x_row.endswith(" 4 s") and y_row.endswith(" 2 s")
+        assert lines[-1].strip() == "* a  o b"
+
+    def test_title_and_first_appearance_glyph_order(self):
+        out = stacked_bars(
+            {"r0": {"late": 1.0}, "r1": {"late": 1.0, "early": 2.0}},
+            width=12,
+            title="T!",
+        )
+        assert out.splitlines()[0] == "T!"
+        # 'late' appears first across rows, so it gets the first glyph.
+        assert out.splitlines()[-1].strip() == "* late  o early"
+
+    def test_all_zero_bars_render_empty(self):
+        out = stacked_bars({"z": {"a": 0.0}}, width=10)
+        row = out.splitlines()[0]
+        assert "|" + " " * 10 + "|" in row
+
+    def test_rejects_negative_segment(self):
+        with pytest.raises(ParameterError):
+            stacked_bars({"x": {"a": -1.0}})
+
+    def test_rejects_empty_rows(self):
+        with pytest.raises(ParameterError):
+            stacked_bars({})
+
+    def test_rejects_narrow_width(self):
+        with pytest.raises(ParameterError):
+            stacked_bars({"x": {"a": 1.0}}, width=4)
 
 
 class TestRegionPlot:

@@ -22,6 +22,7 @@ class TestParser:
             "questions",
             "report",
             "trace",
+            "profile",
         }
 
     def test_requires_command(self):
@@ -123,3 +124,79 @@ class TestTraceCommand:
         with pytest.raises(SystemExit) as exc:
             main(["trace", "fft", "--p", "2", "--n", "100"])
         assert "power-of-two" in str(exc.value)
+
+    def test_trace_json_mode(self, capsys):
+        import json
+
+        assert main(["trace", "nbody", "--p", "2", "--n", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro_trace/v1"
+        assert payload["workload"] == "nbody" and payload["p"] == 2
+        assert payload["dropped_events"] == 0
+        assert payload["critical_path"]["total"] > 0
+        assert payload["breakdown"]
+
+
+class TestProfileCommand:
+    def test_profile_human_mode(self, capsys):
+        assert main(["profile", "cannon", "--p", "4", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "model profile: cannon" in out
+        assert "Eq. (1) time per term" in out
+        assert "Eq. (2) energy per term" in out
+
+    def test_profile_json_mode(self, capsys):
+        import json
+
+        assert main(["profile", "nbody", "--p", "2", "--n", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro_profile/v1"
+        assert payload["p"] == 2
+        assert payload["time"]["total"] == sum(
+            payload["time"]["terms"].values()
+        )
+        assert payload["phases"]  # profile always traces
+
+    def test_profile_metrics_out(self, capsys, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        assert main(
+            [
+                "profile",
+                "nbody",
+                "--p",
+                "2",
+                "--n",
+                "8",
+                "--metrics-out",
+                str(prom),
+            ]
+        ) == 0
+        text = prom.read_text()
+        assert "# TYPE simmpi_sent_words_total counter" in text
+        assert "simmpi_message_words_bucket" in text
+
+    def test_profile_sweep(self, capsys):
+        assert main(["profile", "matmul25d", "--sweep", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "per-term strong scaling" in out
+        assert "T:gammaF" in out and "E:epsT" in out
+
+    def test_profile_sweep_json(self, capsys):
+        import json
+
+        assert (
+            main(["profile", "matmul25d", "--sweep", "--n", "16", "--json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro_profile_sweep/v1"
+        assert [pt["p"] for pt in payload["points"]] == [16, 32, 64]
+
+    def test_sweep_rejects_other_workloads(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "fft", "--sweep"])
+
+    def test_profile_rejects_invalid_p(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["profile", "matmul25d", "--p", "5"])
+        assert "q^2 c" in str(exc.value)
