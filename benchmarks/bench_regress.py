@@ -203,6 +203,58 @@ def regress_metrics(baseline: dict, smoke: bool, checks: list) -> dict:
     return fresh
 
 
+def regress_faults(smoke: bool, checks: list) -> dict:
+    """Exact gate on the fault hooks' disabled path: ``faults=None`` and
+    an inert (never-firing) FaultPlan must produce bit-identical counts
+    AND per-rank virtual clocks. No baseline file — the comparison is
+    exact, so there is nothing to tolerate."""
+    from repro.algorithms.cannon import cannon_matmul
+    from repro.analysis.validation import default_machine
+    from repro.simmpi import DelayFault, FaultPlan, run_spmd
+
+    import numpy as np
+
+    n = 16 if smoke else 32
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    machine = default_machine()
+    # A live FaultState whose only fault sits at an unreachable message
+    # index: every hook runs, nothing ever fires.
+    inert = FaultPlan([DelayFault(src=0, dst=1, nth=10**9, delay=1.0)])
+    base = run_spmd(4, cannon_matmul, a, b, machine=machine)
+    hooked = run_spmd(4, cannon_matmul, a, b, machine=machine, faults=inert)
+    counts_identical = (
+        base.report.counts_signature() == hooked.report.counts_signature()
+    )
+    vtimes = tuple(r.vtime for r in base.report.ranks)
+    vtimes_hooked = tuple(r.vtime for r in hooked.report.ranks)
+    _check(
+        checks,
+        "faults:counts_identical(disabled-path)",
+        counts_identical,
+        "faults=None counts match inert-FaultPlan counts",
+    )
+    _check(
+        checks,
+        "faults:vtimes_identical(disabled-path)",
+        vtimes == vtimes_hooked,
+        "faults=None virtual clocks match inert-FaultPlan clocks",
+    )
+    no_recovery = not hooked.report.has_recovery
+    _check(
+        checks,
+        "faults:no_recovery(disabled-path)",
+        no_recovery,
+        "inert plan metered zero recovery work",
+    )
+    return {
+        "counts_identical": counts_identical,
+        "vtimes_identical": vtimes == vtimes_hooked,
+        "no_recovery": no_recovery,
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
@@ -234,6 +286,8 @@ def main(argv=None) -> int:
                 continue  # structural failure already recorded
             print(f"\n== {fname} ==")
             fresh[fname] = runner(baselines[fname], args.smoke, checks)
+        print("\n== fault hooks (disabled path) ==")
+        fresh["faults_disabled_path"] = regress_faults(args.smoke, checks)
 
     ok = all(c["ok"] for c in checks)
     report = {

@@ -46,7 +46,13 @@ from repro.algorithms.fft import (
     fft_serial,
 )
 from repro.algorithms.lu import blocked_lu, lu_2d, lu_flop_count
-from repro.algorithms.matmul25d import grid_for_25d, matmul_25d, matmul_3d
+from repro.algorithms.matmul25d import (
+    assemble_resilient,
+    grid_for_25d,
+    matmul_25d,
+    matmul_25d_resilient,
+    matmul_3d,
+)
 from repro.algorithms.nbody import (
     COULOMB,
     GRAVITY,
@@ -85,6 +91,8 @@ __all__ = [
     "square_grid_side",
     "matmul_25d",
     "matmul_3d",
+    "matmul_25d_resilient",
+    "assemble_resilient",
     "grid_for_25d",
     "strassen_matmul",
     "strassen_flop_count",

@@ -25,14 +25,22 @@ Cannon rounds — the standard layout constraint), n divisible by q.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 
 import numpy as np
 
 from repro.exceptions import ParameterError
 from repro.simmpi.cart import CartComm
 from repro.simmpi.comm import Comm
+from repro.simmpi.faults import park_until_crash
 
-__all__ = ["matmul_25d", "matmul_3d", "grid_for_25d"]
+__all__ = [
+    "matmul_25d",
+    "matmul_3d",
+    "matmul_25d_resilient",
+    "assemble_resilient",
+    "grid_for_25d",
+]
 
 
 def grid_for_25d(p: int, c: int) -> int:
@@ -125,6 +133,193 @@ def matmul_25d(comm: Comm, a: np.ndarray, b: np.ndarray, c: int = 1) -> np.ndarr
         c_tile = fiber.comm.reduce(c_tile, root=0, algorithm="reduce_scatter_gather")
     comm.release()
     return c_tile if k == 0 else None
+
+
+def matmul_25d_resilient(
+    comm: Comm, a: np.ndarray, b: np.ndarray, c: int = 1
+) -> tuple[tuple[int, int], np.ndarray] | None:
+    """2.5D matmul that survives injected rank crashes at ``c >= 2``.
+
+    The fault-tolerant twin of :func:`matmul_25d`, exploiting exactly the
+    redundancy the paper pays for: with replication factor ``c``, every
+    depth fiber holds ``c`` copies of its A and B tiles, so losing a rank
+    loses *no data* — only its share of the Cannon rounds, which the
+    lowest live layer of the fiber (the *acting root*) recomputes from
+    the replicas.
+
+    Differences from :func:`matmul_25d`:
+
+    * **Push schedule instead of ring shifts.** At step ``s`` of layer
+      ``k`` (``s = k + r c``), rank ``(i, j, k)`` needs ``A[i, (j+i+s) % q]``
+      and ``B[(i+j+s) % q, j]`` — tiles whose owners are known statically,
+      so every rank *pushes* its own tile straight to each step's
+      consumer (tags ``("A", s)``/``("B", s)``) rather than relaying
+      neighbors' tiles around a ring. Same F, same number of tile
+      transfers per round; no alignment phase. Eager sends keep it
+      deadlock-free: each round pushes for every duty before blocking on
+      that round's receives.
+    * **Prescient failure detection.** Doomed ranks
+      (:meth:`~repro.simmpi.comm.Comm.doomed_ranks`) are routed around
+      from the start and simply :func:`~repro.simmpi.faults.park_until_crash`;
+      this keeps the recovery schedule — and therefore every count —
+      fully deterministic. The simulator meters recovery's *data flow*
+      (which replicas move where), not an agreement protocol.
+    * **Recovery metering.** Work the acting root performs on behalf of
+      a dead layer — its pushes, its receives, its GEMMs, the final fold
+      of the recovered partial — runs inside
+      :meth:`~repro.simmpi.comm.Comm.recovery`, so the extra W/S/F land
+      in the ``recovery_*`` counter fields and
+      :class:`~repro.analysis.profiler.ModelProfile` can price resilience
+      against the Eq. (1)/(2) terms.
+    * **Hand-rolled fiber collectives.** Replication is direct sends
+      from the acting root to its fiber's live layers, and the final
+      reduction is a gather-style sum at the acting root (``b^2`` adds
+      per received partial) — sub-communicator ``split`` is collective
+      and would hang on a parked doomed rank.
+
+    Returns ``((i, j), tile)`` on each fiber's acting root (the front
+    layer when no front rank is doomed) and None elsewhere; assemble the
+    global product with :func:`assemble_resilient`. Requires every fiber
+    to keep at least one live rank — at most ``c - 1`` doomed layers per
+    fiber, and ``c >= 2`` whenever any rank is doomed.
+    """
+    if a.ndim != 2 or a.shape[0] != a.shape[1] or a.shape != b.shape:
+        raise ParameterError(
+            f"need equal square operands, got {a.shape} and {b.shape}"
+        )
+    q = grid_for_25d(comm.size, c)
+    n = a.shape[0]
+    if n % q:
+        raise ParameterError(f"matrix order {n} must be divisible by grid side {q}")
+    bsz = n // q
+
+    me = comm.rank
+    # Row-major cuboid: rank = (i*q + j)*c + k, i/j the grid coordinates,
+    # k the replication layer (rank 0 = front-layer corner).
+    i, j, k = me // (q * c), (me // c) % q, me % c
+
+    def gid(x: int, y: int, z: int) -> int:
+        return (x * q + y) * c + z
+
+    doomed = comm.doomed_ranks()
+    if doomed:
+        if c < 2:
+            raise ParameterError(
+                "resilient 2.5D matmul needs c >= 2 replica layers to "
+                "absorb a rank crash (c = 1 holds a single copy of every "
+                "tile — nothing to recover from)"
+            )
+        for x in range(q):
+            for y in range(q):
+                if all(gid(x, y, z) in doomed for z in range(c)):
+                    raise ParameterError(
+                        f"fiber ({x}, {y}) has all {c} layers doomed; "
+                        "its tiles are unrecoverable"
+                    )
+    if me in doomed:
+        park_until_crash(comm)  # raises RankCrashedError; never returns
+
+    def acting(x: int, y: int) -> int:
+        """Lowest live layer of fiber (x, y) — its acting root."""
+        for z in range(c):
+            if gid(x, y, z) not in doomed:
+                return z
+        raise AssertionError("unreachable: fully-doomed fibers rejected above")
+
+    def exec_of(x: int, y: int, z: int) -> int:
+        """The rank executing coordinate (x, y, z)'s duties: itself when
+        live, else its fiber's acting root."""
+        g = gid(x, y, z)
+        if g not in doomed:
+            return g
+        return gid(x, y, acting(x, y))
+
+    my_root = acting(i, j)
+    is_root = k == my_root
+    # Duty layers: my own, plus (on the acting root) my fiber's dead
+    # layers — the recovery work.
+    duties = [k]
+    if is_root:
+        duties += [z for z in range(c) if gid(i, j, z) in doomed]
+
+    # --- replicate: acting root slices its fiber's tiles, sends copies ---
+    dtype = np.result_type(a, b)
+    if is_root:
+        a0 = a[i * bsz : (i + 1) * bsz, j * bsz : (j + 1) * bsz].copy()
+        b0 = b[i * bsz : (i + 1) * bsz, j * bsz : (j + 1) * bsz].copy()
+        for z in range(c):
+            if z != k and gid(i, j, z) not in doomed:
+                comm.send(a0, gid(i, j, z), tag="repA")
+                comm.send(b0, gid(i, j, z), tag="repB")
+    else:
+        root_rank = gid(i, j, my_root)
+        a0 = comm.recv(root_rank, tag="repA")
+        b0 = comm.recv(root_rank, tag="repB")
+    comm.allocate((2 + len(duties)) * bsz * bsz)
+
+    # --- push-model Cannon rounds over all duty layers -------------------
+    rounds = q // c
+    partials = {d: np.zeros((bsz, bsz), dtype=dtype) for d in duties}
+    for r in range(rounds):
+        # Push this round's tiles for every duty before blocking on any
+        # receive: eager sends make each round self-contained, so the
+        # schedule is deadlock-free for any recoverable doomed set.
+        for d in duties:
+            s = d + r * c
+            with comm.recovery() if d != k else nullcontext():
+                dst_a = exec_of(i, (j - i - s) % q, d)
+                if dst_a != me:
+                    comm.send(a0, dst_a, tag=("A", s))
+                dst_b = exec_of((i - j - s) % q, j, d)
+                if dst_b != me:
+                    comm.send(b0, dst_b, tag=("B", s))
+        for d in duties:
+            s = d + r * c
+            with comm.recovery() if d != k else nullcontext():
+                src_a = exec_of(i, (j + i + s) % q, d)
+                a_tile = a0 if src_a == me else comm.recv(src_a, tag=("A", s))
+                src_b = exec_of((i + j + s) % q, j, d)
+                b_tile = b0 if src_b == me else comm.recv(src_b, tag=("B", s))
+                partials[d] += a_tile @ b_tile
+                comm.add_flops(2.0 * bsz * bsz * bsz, label="gemm")
+
+    # --- dead-aware fiber reduction to the acting root -------------------
+    if not is_root:
+        comm.send(partials[k], gid(i, j, my_root), tag="redC")
+        comm.release()
+        return None
+    total = partials[k]
+    for d in duties:
+        if d == k:
+            continue
+        with comm.recovery():
+            total = total + partials[d]
+            comm.add_flops(float(bsz * bsz), label="fold")
+    for z in range(c):
+        if z == k or gid(i, j, z) in doomed:
+            continue
+        total = total + comm.recv(gid(i, j, z), tag="redC")
+        comm.add_flops(float(bsz * bsz), label="reduce")
+    comm.release()
+    return (i, j), total
+
+
+def assemble_resilient(results, n: int) -> np.ndarray:
+    """Assemble the global product from the per-rank return values of an
+    SPMD run of :func:`matmul_25d_resilient` (one ``((i, j), tile)``
+    entry per fiber, wherever its acting root happened to live)."""
+    out: np.ndarray | None = None
+    for entry in results:
+        if entry is None:
+            continue
+        (ti, tj), tile = entry
+        if out is None:
+            out = np.zeros((n, n), dtype=tile.dtype)
+        bsz = tile.shape[0]
+        out[ti * bsz : (ti + 1) * bsz, tj * bsz : (tj + 1) * bsz] = tile
+    if out is None:
+        raise ParameterError("no acting-root tiles in results")
+    return out
 
 
 def matmul_3d(comm: Comm, a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -245,6 +245,42 @@ class ModelProfile:
         """Eq. (1) seconds per term for one rank's counts."""
         return _time_terms(self.report.rank_time(self.machine, rank))
 
+    # -- recovery attribution (fault-injected runs) ----------------------
+
+    @property
+    def has_recovery(self) -> bool:
+        """True when the run metered fault-recovery work (see
+        :meth:`~repro.simmpi.comm.Comm.recovery`)."""
+        return self.report.has_recovery
+
+    @property
+    def recovery_time_terms(self) -> dict[str, float]:
+        """The recovery tallies priced at Eq. (1) rates — seconds of
+        gamma_t F / beta_t W / alpha_t S the injected failures added on
+        top of the algorithm's own counts. Totals across ranks: recovery
+        concentrates on the acting roots, so this is (an upper bound on)
+        the critical-path impact. All zero for fault-free runs."""
+        r = self.report
+        return {
+            "gammaF": self.machine.gamma_t * r.total_recovery_flops,
+            "betaW": self.machine.beta_t * r.total_recovery_words,
+            "alphaS": self.machine.alpha_t * r.total_recovery_messages,
+        }
+
+    @property
+    def recovery_energy_terms(self) -> dict[str, float]:
+        """The recovery tallies priced at Eq. (2)'s dynamic rates
+        (gamma_e F, beta_e W, alpha_e S; the delta_e M T and eps_e T
+        terms charge duration, not counts, so recovery's share of them
+        shows up only through any runtime stretch). All zero for
+        fault-free runs."""
+        r = self.report
+        return {
+            "gammaF": self.machine.gamma_e * r.total_recovery_flops,
+            "betaW": self.machine.beta_e * r.total_recovery_words,
+            "alphaS": self.machine.alpha_e * r.total_recovery_messages,
+        }
+
     # -- export ----------------------------------------------------------
 
     def to_json(self) -> dict:
@@ -287,7 +323,16 @@ class ModelProfile:
             "per_rank": per_rank,
             "dropped_events": self.dropped_events,
             "phases": None,
+            "recovery": None,
         }
+        if self.has_recovery:
+            payload["recovery"] = {
+                "flops": self.report.total_recovery_flops,
+                "words": self.report.total_recovery_words,
+                "messages": self.report.total_recovery_messages,
+                "time_terms": self.recovery_time_terms,
+                "energy_terms": self.recovery_energy_terms,
+            }
         if self.phases is not None:
             payload["phases"] = [
                 {
@@ -344,6 +389,33 @@ class ModelProfile:
         lines.append(
             stacked_bars({"energy": self.energy_terms}, width=width, unit=" J")
         )
+        if self.has_recovery:
+            rt, re_ = self.recovery_time_terms, self.recovery_energy_terms
+            r = self.report
+            lines.append("")
+            lines.append(
+                "fault-recovery overhead (extra counts metered under "
+                "comm.recovery()):"
+            )
+            lines.append(
+                f"  F_rec={r.total_recovery_flops:.6g} "
+                f"W_rec={r.total_recovery_words} "
+                f"S_rec={r.total_recovery_messages}"
+            )
+            for key in TIME_TERM_KEYS:
+                base = self.time_terms[key]
+                share = rt[key] / base if base else 0.0
+                lines.append(
+                    f"  T {key:<8s} {rt[key]:>12.6g} s  "
+                    f"(+{share:.1%} of the term)"
+                )
+            for key in TIME_TERM_KEYS:
+                base = self.energy_terms[key]
+                share = re_[key] / base if base else 0.0
+                lines.append(
+                    f"  E {key:<8s} {re_[key]:>12.6g} J  "
+                    f"(+{share:.1%} of the term)"
+                )
         if self.phases is not None:
             lines.append("")
             lines.append(self.render_phases())

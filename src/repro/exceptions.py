@@ -39,6 +39,38 @@ class DeadlockError(SimulationError):
     be satisfied."""
 
 
+class RankCrashedError(SimulationError):
+    """An injected fault (see :mod:`repro.simmpi.faults`) crashed this rank.
+
+    Raised inside the crashed rank's thread when its metered-operation
+    counter reaches the :class:`~repro.simmpi.faults.CrashFault`'s
+    ``at_op``. The engine isolates it — the rank is marked dead instead
+    of aborting the whole world — so resilient algorithms can detect the
+    death and recover from replicas.
+
+    Attributes
+    ----------
+    rank:
+        World rank that crashed.
+    op:
+        The metered-operation index at which the crash fired.
+    """
+
+    def __init__(self, rank: int, op: int):
+        self.rank = rank
+        self.op = op
+        super().__init__(f"rank {rank} crashed at operation {op} (injected fault)")
+
+
+class PeerDeadError(DeadlockError):
+    """A receive was abandoned because the peer rank is dead.
+
+    A subclass of :class:`DeadlockError` so the engine's failure
+    reporting treats it as secondary noise: the primary failure is the
+    crash that killed the peer, not the receives it orphaned.
+    """
+
+
 class RankFailedError(SimulationError):
     """One or more ranks raised an exception during an SPMD run.
 

@@ -29,7 +29,16 @@ from repro.simmpi.events import (
     EventLog,
     collective_span,
 )
-from repro.simmpi.mailbox import ANY_TAG, Mailbox
+from repro.simmpi.faults import (
+    CrashFault,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultPlan,
+    SlowdownFault,
+    park_until_crash,
+)
+from repro.simmpi.mailbox import ANY_TAG, NOTHING, Mailbox
 from repro.simmpi.payload import (
     FrozenPayload,
     copy_payload,
@@ -57,6 +66,14 @@ __all__ = [
     "World",
     "Mailbox",
     "ANY_TAG",
+    "NOTHING",
+    "FaultPlan",
+    "CrashFault",
+    "DropFault",
+    "DuplicateFault",
+    "DelayFault",
+    "SlowdownFault",
+    "park_until_crash",
     "Request",
     "Envelope",
     "Event",

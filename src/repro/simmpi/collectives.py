@@ -44,6 +44,7 @@ __all__ = [
     "bcast",
     "reduce",
     "allreduce",
+    "reduce_scatter",
     "allgather",
     "gather",
     "scatter",

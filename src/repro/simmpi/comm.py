@@ -20,9 +20,11 @@ exchange (SPMD programs call split in the same order everywhere).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from time import monotonic as _monotonic
 from typing import Any, Callable, Hashable, Sequence
 
-from repro.exceptions import CommunicatorError
+from repro.exceptions import CommunicatorError, DeadlockError, PeerDeadError
 from repro.simmpi import collectives as _coll
 from repro.simmpi.envelope import Envelope
 from repro.simmpi.mailbox import NOTHING
@@ -65,6 +67,9 @@ class Comm:
         #: same zero-overhead-when-off discipline as ``_elog``
         rank_metrics = world.rank_metrics
         self._mx = None if rank_metrics is None else rank_metrics[self._group[rank]]
+        #: the world's live FaultState (None for fault-free runs); same
+        #: zero-overhead-when-off discipline as ``_elog``/``_mx``
+        self._fx = world.faults
 
     # -- identity -------------------------------------------------------
 
@@ -108,6 +113,9 @@ class Comm:
         ``label`` names the kernel in trace timelines (e.g. ``"gemm"``);
         it is ignored when tracing is off.
         """
+        slowdown = None
+        if self._fx is not None:
+            slowdown = self._fx.tick(self.world_rank)
         counter = self.counter
         t0 = counter.vtime
         counter.add_flops(count)
@@ -115,6 +123,8 @@ class Comm:
         cost = 0.0
         if machine is not None:
             cost = machine.gamma_t * count
+            if slowdown is not None:
+                cost *= slowdown
             counter.advance_clock(cost)
         if self._elog is not None:
             self._elog.append(
@@ -153,6 +163,8 @@ class Comm:
         The metered word count is identical either way.
         """
         self._check_peer(dest, "dest")
+        if self._fx is not None:
+            self._fx.tick(self.world_rank)
         if self._world.copy_on_write:
             payload = FrozenPayload.freeze(obj)
             words = payload.words
@@ -187,11 +199,22 @@ class Comm:
                 tag=tag,
             )
             trace_ref = (self.world_rank, seq)
+        env = Envelope(payload, departure, trace_ref)
+        if self._fx is not None:
+            action, env = self._fx.outgoing(
+                self.world_rank, dest_world_rank, self._context, tag, env
+            )
+            if action == "drop":
+                # The sender paid for the send — the words left its NIC —
+                # but the network ate the envelope; recv_reliable on the
+                # receiver can recover it from the retransmission buffer.
+                return
+            if action == "duplicate":
+                self._world.mailboxes[dest_world_rank].put(
+                    self.world_rank, self._context, tag, env
+                )
         self._world.mailboxes[dest_world_rank].put(
-            self.world_rank,
-            self._context,
-            tag,
-            Envelope(payload, departure, trace_ref),
+            self.world_rank, self._context, tag, env
         )
 
     def recv(self, source: int, tag: Hashable = 0) -> Any:
@@ -204,13 +227,15 @@ class Comm:
         words sent.
         """
         self._check_peer(source, "source")
+        if self._fx is not None:
+            self._fx.tick(self.world_rank)
         src_world = self._group[source]
         env = self._world.mailboxes[self.world_rank].get(
             src_world,
             self._context,
             tag,
             timeout=self._world.timeout,
-            abort_check=self._world.failed.is_set,
+            abort_check=self._abort_for(src_world),
         )
         return self._open_envelope(env, src_world, tag=tag)
 
@@ -227,6 +252,8 @@ class Comm:
         when the request completes, matching a blocking ``recv``.
         """
         self._check_peer(source, "source")
+        if self._fx is not None:
+            self._fx.tick(self.world_rank)
         src_world = self._group[source]
         mailbox = self._world.mailboxes[self.world_rank]
 
@@ -237,7 +264,7 @@ class Comm:
                     self._context,
                     tag,
                     timeout=self._world.timeout,
-                    abort_check=self._world.failed.is_set,
+                    abort_check=self._abort_for(src_world),
                 )
                 return True, env
             env = mailbox.try_get(src_world, self._context, tag)
@@ -280,6 +307,131 @@ class Comm:
         dest = (self._rank + displacement) % p
         src = (self._rank - displacement) % p
         return self.sendrecv(obj, dest, src, sendtag=tag, recvtag=tag)
+
+    # -- fault tolerance ----------------------------------------------------
+
+    def recv_reliable(
+        self,
+        source: int,
+        tag: Hashable = 0,
+        retry_timeout: float = 0.05,
+        max_retries: int | None = None,
+    ) -> Any:
+        """A receive that survives injected message drops.
+
+        Waits ``retry_timeout`` seconds at a time; when a wait expires
+        without a delivery, the receiver asks the fault state for a
+        retransmission of a dropped envelope on this channel, metering
+        the re-send *and* the receive as recovery traffic (the
+        retransmitted words cross the network again; the charge lands on
+        this rank's counter to preserve the counters' thread-ownership
+        discipline). Gives up with :class:`~repro.exceptions.DeadlockError`
+        once the world timeout elapses or after ``max_retries``
+        retransmission-less expiries — a genuinely missing message (peer
+        never sent) still deadlocks like a plain ``recv``.
+
+        Identical to :meth:`recv` — same metering, same virtual-clock
+        sync — for fault-free runs.
+        """
+        fx = self._fx
+        if fx is None:
+            return self.recv(source, tag=tag)
+        self._check_peer(source, "source")
+        fx.tick(self.world_rank)
+        src_world = self._group[source]
+        mailbox = self._world.mailboxes[self.world_rank]
+        abort_check = self._abort_for(src_world)
+        deadline = _monotonic() + self._world.timeout
+        expiries = 0
+        while True:
+            remaining = deadline - _monotonic()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"rank {self.world_rank}: recv_reliable from rank "
+                    f"{src_world} (tag={tag!r}) exhausted the "
+                    f"{self._world.timeout}s world timeout"
+                )
+            try:
+                env = mailbox.get(
+                    src_world,
+                    self._context,
+                    tag,
+                    timeout=min(retry_timeout, remaining),
+                    abort_check=abort_check,
+                )
+            except PeerDeadError:
+                raise
+            except DeadlockError:
+                env = fx.retransmit(src_world, self.world_rank, self._context, tag)
+                if env is None:
+                    expiries += 1
+                    if max_retries is not None and expiries > max_retries:
+                        raise
+                    continue
+                # Recovered from the retransmission buffer: charge the
+                # re-send (proxy, on this rank) and the receive as
+                # recovery traffic.
+                with self.recovery():
+                    payload = env.payload
+                    if type(payload) is FrozenPayload:
+                        words = payload.words
+                    else:
+                        words = payload_words(payload)
+                    msgs = message_count(words, self._world.max_message_words)
+                    self.counter.add_send(words, msgs)
+                    return self._open_envelope(env, src_world, tag=tag)
+            else:
+                return self._open_envelope(env, src_world, tag=tag)
+
+    @contextmanager
+    def recovery(self):
+        """Scope whose metered costs are *additionally* tallied as
+        recovery overhead (``recovery_*`` counter fields) — wrap replica
+        re-pushes, tile recomputation and retransmission handling so the
+        profiler can price resilience against the Eq. (1)/(2) model."""
+        counter = self.counter
+        prev = counter.recovering
+        counter.recovering = True
+        try:
+            yield
+        finally:
+            counter.recovering = prev
+
+    def fault_tick(self) -> None:
+        """Explicitly advance this rank's fault-plan operation counter
+        without metering anything — lets a doomed rank reach its crash
+        point while doing no real work (see
+        :func:`~repro.simmpi.faults.park_until_crash`). A no-op for
+        fault-free runs."""
+        if self._fx is not None:
+            self._fx.tick(self.world_rank)
+
+    def doomed_ranks(self) -> frozenset[int]:
+        """Local ranks of this communicator the fault plan will crash.
+
+        The simulator's failure detector is *prescient*: resilient
+        algorithms route around doomed ranks from the start, which keeps
+        their recovery schedules — and therefore all counts — fully
+        deterministic regardless of when the crash actually fires.
+        Empty for fault-free runs.
+        """
+        fx = self._fx
+        if fx is None:
+            return frozenset()
+        doomed = fx.plan.crash_ranks()
+        return frozenset(i for i, w in enumerate(self._group) if w in doomed)
+
+    def dead_ranks(self) -> frozenset[int]:
+        """Local ranks whose injected crash has already fired."""
+        dead = self._world.dead
+        if not dead:
+            return frozenset()
+        return frozenset(i for i, w in enumerate(self._group) if w in dead)
+
+    def is_alive(self, rank: int) -> bool:
+        """False once ``rank``'s (local) injected crash has fired."""
+        self._check_peer(rank, "rank")
+        return self._group[rank] not in self._world.dead
 
     # -- collectives --------------------------------------------------------
 
@@ -372,6 +524,26 @@ class Comm:
 
     # -- internals ---------------------------------------------------------
 
+    def _abort_for(self, src_world: int):
+        """The abort check a blocking receive from ``src_world`` should
+        poll: the plain world-failed flag for fault-free runs (no
+        allocation, same object every time), or a closure that
+        additionally raises :class:`~repro.exceptions.PeerDeadError` the
+        moment the awaited peer's injected crash fires."""
+        world = self._world
+        if self._fx is None:
+            return world.failed.is_set
+
+        def check():
+            if src_world in world.dead:
+                raise PeerDeadError(
+                    f"rank {self.world_rank}: receive from rank {src_world} "
+                    "abandoned because that rank crashed"
+                )
+            return world.failed.is_set()
+
+        return check
+
     def _open_envelope(self, env: Envelope, src_world: int, tag: Hashable = 0) -> Any:
         """Meter an arrived envelope and unwrap its payload.
 
@@ -435,7 +607,7 @@ class Comm:
                 self._context,
                 ("_setup", step),
                 timeout=self._world.timeout,
-                abort_check=self._world.failed.is_set,
+                abort_check=self._abort_for(left),
             ).payload
             carrying = (carrying - 1) % p
             out[carrying] = block

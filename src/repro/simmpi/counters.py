@@ -46,6 +46,14 @@ class CounterSnapshot:
     #: trace-event tallies (zero when the run was untraced)
     events_recorded: int = 0
     events_dropped: int = 0
+    #: recovery sub-tallies: the share of the counts above spent inside a
+    #: ``comm.recovery()`` scope (replica re-pushes, recomputation,
+    #: retransmissions) — zero for fault-free runs
+    recovery_flops: float = 0.0
+    recovery_words_sent: int = 0
+    recovery_messages_sent: int = 0
+    recovery_words_received: int = 0
+    recovery_messages_received: int = 0
 
     @property
     def words_sent_intranode(self) -> int:
@@ -88,6 +96,17 @@ class CostCounter:
     messages_sent_internode: int = 0
     words_received_internode: int = 0
     messages_received_internode: int = 0
+    #: recovery sub-tallies — mirror the main tallies while
+    #: ``recovering`` is True (toggled by ``Comm.recovery()`` around
+    #: replica re-pushes / recomputation / retransmissions), so the
+    #: profiler can price what fault recovery cost on top of the
+    #: algorithm's own F/W/S
+    recovery_flops: float = 0.0
+    recovery_words_sent: int = 0
+    recovery_messages_sent: int = 0
+    recovery_words_received: int = 0
+    recovery_messages_received: int = 0
+    recovering: bool = False
     #: optional per-rank event log, attached by the World when the run
     #: is traced; the Comm hooks append through it (None = no tracing)
     elog: EventLog | None = field(default=None, repr=False)
@@ -109,6 +128,8 @@ class CostCounter:
         if count < 0:
             raise ParameterError(f"flop count must be >= 0, got {count!r}")
         self.flops += count
+        if self.recovering:
+            self.recovery_flops += count
 
     def add_send(self, words: int, messages: int, internode: bool = False) -> None:
         if words < 0 or messages < 0:
@@ -118,6 +139,9 @@ class CostCounter:
         if internode:
             self.words_sent_internode += words
             self.messages_sent_internode += messages
+        if self.recovering:
+            self.recovery_words_sent += words
+            self.recovery_messages_sent += messages
 
     def add_recv(self, words: int, messages: int, internode: bool = False) -> None:
         if words < 0 or messages < 0:
@@ -127,6 +151,9 @@ class CostCounter:
         if internode:
             self.words_received_internode += words
             self.messages_received_internode += messages
+        if self.recovering:
+            self.recovery_words_received += words
+            self.recovery_messages_received += messages
 
     # -- memory high-water tracking (opt-in per algorithm) -------------
 
@@ -164,4 +191,9 @@ class CostCounter:
             messages_received_internode=self.messages_received_internode,
             events_recorded=self.elog.recorded if self.elog is not None else 0,
             events_dropped=self.elog.dropped if self.elog is not None else 0,
+            recovery_flops=self.recovery_flops,
+            recovery_words_sent=self.recovery_words_sent,
+            recovery_messages_sent=self.recovery_messages_sent,
+            recovery_words_received=self.recovery_words_received,
+            recovery_messages_received=self.recovery_messages_received,
         )

@@ -25,9 +25,10 @@ from __future__ import annotations
 import math
 import threading
 from dataclasses import dataclass
+from time import monotonic as _monotonic
 from typing import Any, Callable
 
-from repro.exceptions import RankFailedError
+from repro.exceptions import DeadlockError, RankCrashedError, RankFailedError
 from repro.simmpi.comm import Comm
 from repro.simmpi.trace import TraceReport
 from repro.simmpi.world import World
@@ -47,6 +48,9 @@ class SpmdResult:
     #: merged run-level :class:`~repro.metrics.registry.MetricsRegistry`
     #: when the run was metered (``metrics=True``), else None
     metrics: object | None = None
+    #: ranks whose injected crash fired during the run (their ``results``
+    #: entries are None); empty for fault-free runs
+    crashed: tuple[int, ...] = ()
 
     def __iter__(self):
         return iter(self.results)
@@ -66,19 +70,30 @@ def _finalize(
     world: World,
     results: list[Any],
     failures: dict[int, BaseException],
+    crashes: dict[int, BaseException] | None = None,
 ) -> SpmdResult:
     """Convert joined-run state into an SpmdResult or RankFailedError.
 
     Shared by :func:`run_spmd` and :class:`~repro.simmpi.pool.SpmdPool`
     so both substrates report failures and build traces identically.
+
+    ``crashes`` holds injected :class:`~repro.exceptions.RankCrashedError`
+    unwinds. Alone they are *survivable* — the run succeeds with
+    ``SpmdResult.crashed`` naming the victims (a resilient program
+    completed around them). Combined with real ``failures`` they are
+    primary context: a crash that a non-resilient program could not
+    absorb is the root cause, and the orphaned-receive
+    ``DeadlockError``/``PeerDeadError`` cascade on the survivors is
+    secondary noise.
     """
+    crashes = crashes or {}
     if failures:
         # Deadlock/abort cascades on other ranks are secondary noise; report
-        # the primary failures (non-DeadlockError) first if any exist.
-        from repro.exceptions import DeadlockError
-
-        primary = {r: e for r, e in failures.items() if not isinstance(e, DeadlockError)}
-        raise RankFailedError(primary or failures)
+        # the primary failures (non-DeadlockError), including any injected
+        # crashes the program failed to absorb, first if any exist.
+        merged = {**crashes, **failures}
+        primary = {r: e for r, e in merged.items() if not isinstance(e, DeadlockError)}
+        raise RankFailedError(primary or merged)
 
     report = TraceReport(ranks=tuple(c.snapshot() for c in world.counters))
     metrics = None
@@ -91,6 +106,7 @@ def _finalize(
         report=report,
         event_logs=world.event_logs,
         metrics=metrics,
+        crashed=tuple(sorted(crashes)),
     )
 
 
@@ -106,6 +122,7 @@ def run_spmd(
     trace: bool = False,
     trace_capacity: int | None = None,
     metrics: bool = False,
+    faults: Any = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``program(comm, *args, **kwargs)`` on ``size`` simulated ranks.
@@ -154,11 +171,23 @@ def run_spmd(
         per-rank registries merged onto ``SpmdResult.metrics``. Counts
         and virtual clocks are bit-identical metered or not; the
         unmetered default pays only one ``is None`` test per operation.
+    faults:
+        Optional :class:`~repro.simmpi.faults.FaultPlan` of deterministic
+        injected failures (rank crashes, message drops/duplicates/delays,
+        transient slowdowns). A rank unwound by its injected crash is
+        *isolated*, not fatal: it is marked dead (receives from it raise
+        :class:`~repro.exceptions.PeerDeadError`), and if every other
+        rank completes, the run succeeds with ``SpmdResult.crashed``
+        naming the victims. Counts and virtual clocks are bit-identical
+        with ``faults=None`` versus an empty plan.
 
     Raises
     ------
     RankFailedError
         If any rank raises; carries the per-rank exceptions.
+    DeadlockError
+        If rank threads fail to join within the watchdog budget (a rank
+        wedged outside a receive, e.g. a user-code infinite loop).
     """
     world = World(
         size,
@@ -170,15 +199,23 @@ def run_spmd(
         trace=trace,
         trace_capacity=trace_capacity,
         metrics=metrics,
+        faults=faults,
     )
     results: list[Any] = [None] * size
     failures: dict[int, BaseException] = {}
+    crashes: dict[int, BaseException] = {}
     failures_lock = threading.Lock()
 
     def runner(rank: int) -> None:
         comm = Comm(world, group=range(size), rank=rank)
         try:
             results[rank] = program(comm, *args, **kwargs)
+        except RankCrashedError as exc:
+            # Injected crash: isolate the rank instead of failing the
+            # world, so resilient survivors can detect it and recover.
+            with failures_lock:
+                crashes[rank] = exc
+            world.mark_dead(rank)
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             with failures_lock:
                 failures[rank] = exc
@@ -190,7 +227,25 @@ def run_spmd(
     ]
     for t in threads:
         t.start()
-    for t in threads:
-        t.join()
+    # Join watchdog: the mailbox deadlock timeout only covers ranks
+    # blocked in a receive. A rank wedged *outside* one (user-code
+    # infinite loop) would hang a bare join forever, so bound the total
+    # join time consistently with ``timeout=``: one full receive timeout
+    # for the slowest rank to unblock, another for its own cleanup
+    # cascade, plus scheduling slack.
+    deadline = _monotonic() + 2.0 * world.timeout + 1.0
+    stuck = []
+    for r, t in enumerate(threads):
+        t.join(max(0.0, deadline - _monotonic()))
+        if t.is_alive():
+            stuck.append(r)
+    if stuck:
+        world.abort()  # unblock anything still waiting on the stuck ranks
+        raise DeadlockError(
+            f"rank thread(s) {stuck} failed to join within "
+            f"{2.0 * world.timeout + 1.0:.1f}s (2*timeout+1); the rank(s) "
+            "are wedged outside a receive — likely an infinite loop in "
+            "the SPMD program"
+        )
 
-    return _finalize(world, results, failures)
+    return _finalize(world, results, failures, crashes)

@@ -28,7 +28,7 @@ from typing import Any, Hashable
 
 from repro.exceptions import DeadlockError
 
-__all__ = ["Mailbox", "ANY_TAG"]
+__all__ = ["Mailbox", "ANY_TAG", "NOTHING"]
 
 #: Wildcard tag for receives (matches the oldest message from the given
 #: source on the given communicator, regardless of tag).
@@ -111,6 +111,14 @@ class Mailbox:
                     payload = self._try_pop(source, context, tag)
                     if payload is not _NOTHING:
                         return payload
+                    # An abort may equally have raced the timeout: if a
+                    # peer failed while we slept, blame the failure, not
+                    # a spurious "timed out after {timeout}s" deadlock.
+                    if abort_check is not None and abort_check():
+                        raise DeadlockError(
+                            f"rank {self.owner_rank}: receive abandoned "
+                            "because a peer rank failed"
+                        )
                     raise DeadlockError(
                         f"rank {self.owner_rank} timed out after {timeout}s "
                         f"waiting for a message from rank {source} "

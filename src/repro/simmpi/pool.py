@@ -38,6 +38,7 @@ import threading
 import time
 from typing import Any, Callable
 
+from repro.exceptions import DeadlockError, RankCrashedError
 from repro.simmpi.comm import Comm
 from repro.simmpi.engine import SpmdResult, _finalize
 from repro.simmpi.world import World
@@ -61,10 +62,18 @@ class _Latch:
             if self._remaining <= 0:
                 self._cond.notify_all()
 
-    def wait(self) -> None:
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the count reaches zero; with a ``timeout``, give
+        up after that many seconds and return False (absolute deadline —
+        spurious wake-ups do not extend it)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while self._remaining > 0:
-                self._cond.wait()
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(timeout=remaining)
+            return True
 
 
 class SpmdPool:
@@ -191,6 +200,7 @@ class SpmdPool:
         trace: bool = False,
         trace_capacity: int | None = None,
         metrics: bool = False,
+        faults: Any = None,
         **kwargs: Any,
     ) -> SpmdResult:
         """Run ``program(comm, *args, **kwargs)`` on ``size`` pooled ranks.
@@ -198,8 +208,12 @@ class SpmdPool:
         Drop-in equivalent of :func:`~repro.simmpi.engine.run_spmd` —
         identical signature, results, trace counts, and failure
         behavior (including ``trace=``/``trace_capacity=`` event
-        tracing and ``metrics=`` run metrics) — minus the per-call
-        thread spawn/join.
+        tracing, ``metrics=`` run metrics and ``faults=`` injection) —
+        minus the per-call thread spawn/join. Like ``run_spmd``'s join
+        watchdog, a rank wedged outside a receive raises
+        :class:`~repro.exceptions.DeadlockError` naming the stuck ranks
+        after ``2*timeout + 1`` seconds; the wedged workers are replaced
+        so the pool stays usable.
         """
         world = World(
             size,
@@ -211,9 +225,11 @@ class SpmdPool:
             trace=trace,
             trace_capacity=trace_capacity,
             metrics=metrics,
+            faults=faults,
         )
         results: list[Any] = [None] * size
         failures: dict[int, BaseException] = {}
+        crashes: dict[int, BaseException] = {}
         failures_lock = threading.Lock()
 
         with self._run_lock:
@@ -226,14 +242,63 @@ class SpmdPool:
                 kwargs=kwargs,
                 results=results,
                 failures=failures,
+                crashes=crashes,
                 failures_lock=failures_lock,
                 latch=latch,
+                done=[False] * size,
             )
             for rank in range(size):
                 self._queues[rank].put((rank, job))
-            latch.wait()
+            budget = 2.0 * world.timeout + 1.0
+            if not latch.wait(budget):
+                world.abort()  # unblock anything waiting on the stuck ranks
+                # Give aborted ranks a moment to unwind, then replace the
+                # workers still wedged in user code so the pool survives.
+                latch.wait(1.0)
+                stuck = [r for r in range(size) if not job.done[r]]
+                self._replace_workers(stuck)
+                raise DeadlockError(
+                    f"rank thread(s) {stuck} failed to finish within "
+                    f"{budget:.1f}s (2*timeout+1); the rank(s) are wedged "
+                    "outside a receive — likely an infinite loop in the "
+                    "SPMD program (wedged pool workers were replaced)"
+                )
 
-        return _finalize(world, results, failures)
+        return _finalize(world, results, failures, crashes)
+
+    def _replace_workers(self, indices: list[int]) -> None:
+        """Stand up fresh workers at ``indices``, abandoning the wedged
+        threads (daemons blocked in user code; their old queues are
+        orphaned so nothing new ever reaches them)."""
+        with self._state_lock:
+            if self._closed:
+                return
+            for idx in indices:
+                q: queue.SimpleQueue = queue.SimpleQueue()
+                usage = None
+                if self._metrics is not None:
+                    labels = {"worker": str(idx)}
+                    usage = (
+                        self._metrics.counter(
+                            "simmpi_pool_jobs_total",
+                            labels=labels,
+                            help="Rank jobs executed per pool worker.",
+                        ),
+                        self._metrics.counter(
+                            "simmpi_pool_busy_seconds_total",
+                            labels=labels,
+                            help="Wall-clock seconds per worker spent running rank jobs.",
+                        ),
+                    )
+                t = threading.Thread(
+                    target=_worker_loop,
+                    args=(q, usage),
+                    name=f"simmpi-pool-{idx}",
+                    daemon=True,
+                )
+                self._queues[idx] = q
+                self._threads[idx] = t
+                t.start()
 
 
 class _Job:
@@ -246,8 +311,10 @@ class _Job:
         "kwargs",
         "results",
         "failures",
+        "crashes",
         "failures_lock",
         "latch",
+        "done",
     )
 
     def __init__(self, **fields: Any):
@@ -268,11 +335,18 @@ def _worker_loop(q: queue.SimpleQueue, usage=None) -> None:
         comm = Comm(job.world, group=range(job.world.size), rank=rank)
         try:
             job.results[rank] = job.program(comm, *job.args, **job.kwargs)
+        except RankCrashedError as exc:
+            # Injected crash: isolate the rank instead of failing the
+            # world (mirrors run_spmd's runner).
+            with job.failures_lock:
+                job.crashes[rank] = exc
+            job.world.mark_dead(rank)
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             with job.failures_lock:
                 job.failures[rank] = exc
             job.world.abort()
         finally:
+            job.done[rank] = True
             if usage is not None:
                 usage[0].value += 1.0
                 usage[1].value += time.perf_counter() - start

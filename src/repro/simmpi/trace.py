@@ -96,6 +96,44 @@ class TraceReport:
             messages_core=float(r.messages_sent_intranode),
         )
 
+    # -- recovery overhead (fault-injected runs; all zero otherwise) ------
+
+    @property
+    def total_recovery_flops(self) -> float:
+        """Flops spent inside ``comm.recovery()`` scopes (tile
+        recomputation after an injected crash)."""
+        return sum(r.recovery_flops for r in self.ranks)
+
+    @property
+    def total_recovery_words(self) -> int:
+        """Words sent as recovery traffic (replica re-pushes,
+        retransmissions)."""
+        return sum(r.recovery_words_sent for r in self.ranks)
+
+    @property
+    def total_recovery_messages(self) -> int:
+        return sum(r.recovery_messages_sent for r in self.ranks)
+
+    @property
+    def max_recovery_words(self) -> int:
+        return max(r.recovery_words_sent for r in self.ranks)
+
+    @property
+    def max_recovery_messages(self) -> int:
+        return max(r.recovery_messages_sent for r in self.ranks)
+
+    @property
+    def has_recovery(self) -> bool:
+        """True when any rank metered recovery work."""
+        return any(
+            r.recovery_flops
+            or r.recovery_words_sent
+            or r.recovery_messages_sent
+            or r.recovery_words_received
+            or r.recovery_messages_received
+            for r in self.ranks
+        )
+
     @property
     def simulated_time(self) -> float:
         """Critical-path finish time from the virtual clocks (0.0 when

@@ -16,7 +16,7 @@ from repro.simmpi.counters import CostCounter
 from repro.simmpi.events import DEFAULT_TRACE_CAPACITY, EventLog
 from repro.simmpi.mailbox import Mailbox
 
-__all__ = ["World"]
+__all__ = ["World", "PAYLOAD_MODES"]
 
 #: Valid payload transport modes (see :mod:`repro.simmpi.payload`).
 PAYLOAD_MODES = ("cow", "copy")
@@ -67,6 +67,14 @@ class World:
         into ``SpmdResult.metrics``. Off by default — the disabled path
         pays only one ``is None`` test per operation, and counts and
         virtual clocks are bit-identical either way.
+    faults:
+        Optional :class:`~repro.simmpi.faults.FaultPlan`. When given
+        (and non-empty), each rank's metered operations tick the plan's
+        deterministic fault schedule: crashes, message drops/duplicates/
+        delays and transient slowdowns fire at the planned operation and
+        message indices. None (default) — the disabled path pays only
+        one ``is None`` test per operation, and counts and virtual
+        clocks are bit-identical either way.
     """
 
     def __init__(
@@ -80,6 +88,7 @@ class World:
         trace: bool = False,
         trace_capacity: int | None = None,
         metrics: bool = False,
+        faults=None,
     ):
         if size < 1:
             raise ValueError(f"world size must be >= 1, got {size}")
@@ -131,8 +140,26 @@ class World:
             self.rank_metrics = tuple(RankMetrics(r) for r in range(size))
             for box, rm in zip(self.mailboxes, self.rank_metrics):
                 box.metrics = rm
+        #: live FaultState when a non-empty FaultPlan was given, else None
+        #: (zero-overhead path — one ``is None`` test per operation)
+        self.faults = faults.activate(size) if faults else None
+        #: ranks whose thread raised RankCrashedError (injected faults);
+        #: mutated only by the engine's runner threads via mark_dead()
+        self.dead: set[int] = set()
         #: set once any rank raises; receivers poll it via interrupt()
         self.failed = threading.Event()
+
+    def mark_dead(self, rank: int) -> None:
+        """Record an isolated (injected) rank crash.
+
+        Unlike :meth:`abort`, this does *not* fail the world: survivors
+        keep running, but blocked receivers are woken so waits on the
+        dead rank can convert into
+        :class:`~repro.exceptions.PeerDeadError` via their abort checks.
+        """
+        self.dead.add(rank)
+        for box in self.mailboxes:
+            box.interrupt()
 
     def same_node(self, rank_a: int, rank_b: int) -> bool:
         """True when two world ranks share a node (trivially true for a

@@ -23,6 +23,7 @@ class TestParser:
             "report",
             "trace",
             "profile",
+            "faults",
         }
 
     def test_requires_command(self):

@@ -286,3 +286,102 @@ class TestMailbox:
         box = Mailbox(0)
         with pytest.raises(DeadlockError, match="peer rank failed"):
             box.get(1, "c", "t", timeout=60.0, abort_check=lambda: True)
+
+
+class TestMailboxAbortTimeoutRace:
+    """The timeout branch of Mailbox.get must not blame a deadlock when
+    the real cause is a peer failure that raced the expiring deadline."""
+
+    def test_abort_via_notified_wakeup_blames_peer(self):
+        box = Mailbox(0)
+        aborted = threading.Event()
+
+        def killer():
+            time.sleep(0.05)
+            aborted.set()
+            box.interrupt()
+
+        t = threading.Thread(target=killer)
+        t.start()
+        t0 = time.monotonic()
+        with pytest.raises(DeadlockError, match="peer rank failed"):
+            box.get(1, "c", "t", timeout=60.0, abort_check=aborted.is_set)
+        t.join()
+        # Woken by the interrupt, not by the 60s watchdog.
+        assert time.monotonic() - t0 < 5.0
+
+    def test_abort_racing_expired_timeout_blames_peer(self):
+        """abort_check is False when the wait starts and True by the time
+        the deadline expires: exactly the loop-top check passing and the
+        timeout-branch check firing. The error must carry the
+        peer-failure message, not 'timed out after'."""
+        box = Mailbox(0)
+        calls = []
+
+        def abort_check():
+            calls.append(None)
+            return len(calls) > 1  # False at loop top, True after timeout
+
+        with pytest.raises(DeadlockError, match="peer rank failed"):
+            box.get(1, "c", "t", timeout=0.05, abort_check=abort_check)
+        # No messages and no interrupts: the wait slept straight through
+        # to the deadline, so the check ran exactly twice.
+        assert len(calls) == 2
+
+    def test_timeout_with_healthy_peers_still_blames_deadlock(self):
+        box = Mailbox(0)
+        with pytest.raises(DeadlockError, match="timed out after"):
+            box.get(1, "c", "t", timeout=0.05, abort_check=lambda: False)
+
+
+class TestJoinWatchdog:
+    def test_wedged_rank_outside_receive_is_named(self):
+        """The mailbox watchdog only covers ranks blocked in a receive; a
+        rank spinning in user code must be caught by the join watchdog,
+        which names it instead of hanging the join forever."""
+        release = threading.Event()
+
+        def prog(comm):
+            if comm.rank == 1:
+                while not release.wait(0.01):  # wedged until the test ends
+                    pass
+            return comm.rank
+
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(DeadlockError, match=r"\[1\].*wedged outside"):
+                run_spmd(2, prog, timeout=0.2)
+            # Bounded by 2*timeout+1, not the default 60s join.
+            assert time.monotonic() - t0 < 10.0
+        finally:
+            release.set()
+
+
+class TestFinalizeCascade:
+    def test_secondary_abort_noise_is_suppressed(self):
+        """One real failure plus two ranks unblocked by the abort: only
+        the primary exception is reported, the DeadlockError cascade on
+        the survivors is dropped entirely."""
+
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("primary")
+            comm.recv(1)  # ranks 0 and 2 block, then get aborted
+
+        with pytest.raises(RankFailedError) as exc:
+            run_spmd(3, prog, timeout=30.0)
+        assert set(exc.value.failures) == {1}
+        assert isinstance(exc.value.failures[1], ValueError)
+
+    def test_multiple_primaries_all_reported(self):
+        def prog(comm):
+            if comm.rank in (0, 2):
+                raise RuntimeError(f"boom-{comm.rank}")
+            comm.recv(0)
+
+        with pytest.raises(RankFailedError) as exc:
+            run_spmd(3, prog, timeout=30.0)
+        assert set(exc.value.failures) == {0, 2}
+        assert all(
+            isinstance(e, RuntimeError) for e in exc.value.failures.values()
+        )

@@ -134,3 +134,50 @@ class TestWatchdogDeadline:
         t.start()
         assert box.get(1, "ctx", "tag", timeout=5.0) == "payload"
         t.join()
+
+
+class TestPoolWithFaults:
+    """Fault injection on the pool substrate: crash isolation behaves
+    exactly as on run_spmd, and a failed fault-injected run leaves the
+    pool usable."""
+
+    def test_survivable_crash_reported_on_result(self):
+        from repro.simmpi import FaultPlan, park_until_crash
+
+        def prog(comm):
+            park_until_crash(comm)  # no-op on live ranks
+            return comm.rank
+
+        with SpmdPool() as pool:
+            out = pool.run(
+                4, prog, faults=FaultPlan.single_crash(rank=2, at_op=1),
+                timeout=5.0,
+            )
+            assert out.crashed == (2,)
+            assert out.results == (0, 1, None, 3)
+
+    def test_pool_survives_failed_run_with_faults_active(self):
+        from repro.exceptions import RankCrashedError
+        from repro.simmpi import FaultPlan
+
+        def needs_rank_one(comm):
+            if comm.rank == 1:
+                comm.add_flops(1.0)  # op 1: the injected crash fires here
+                return None
+            return comm.recv(1)  # unblocked by the peer-dead abort
+
+        with SpmdPool() as pool:
+            with pytest.raises(RankFailedError) as exc:
+                pool.run(
+                    2, needs_rank_one,
+                    faults=FaultPlan.single_crash(rank=1, at_op=1),
+                    timeout=5.0,
+                )
+            # The unabsorbed crash is the primary failure; the survivor's
+            # abandoned receive is secondary noise and not reported.
+            assert set(exc.value.failures) == {1}
+            assert isinstance(exc.value.failures[1], RankCrashedError)
+            # The same workers run the next (fault-free) job cleanly.
+            out = pool.run(2, _sum_of_ranks)
+            assert out.results == (1, 1)
+            assert out.crashed == ()
