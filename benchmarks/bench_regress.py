@@ -21,6 +21,10 @@ is the PR gate over them:
 3. The fresh runs' own correctness flags must hold (bit-identical
    counts with tracing/metrics on or off) — these are exact, not
    tolerance-based.
+4. **Baseline-less exact gates** — the fault hooks' disabled path and
+   the analytic collective fast path must each be bit-identical
+   (counts, per-rank virtual clocks, results) to their reference
+   paths. Exact comparisons; nothing to tolerate.
 
 Writes a ``bench_regress/v1`` report to ``benchmarks/results/`` and
 exits nonzero on any violation. Run from the repo root::
@@ -42,7 +46,7 @@ SCHEMA = "bench_regress/v1"
 #: baseline file -> expected schema and required-true correctness flags
 BASELINES = {
     "BENCH_simmpi.json": {
-        "schema": "bench_simmpi_perf/v1",
+        "schema": "bench_simmpi_perf/v2",
         "flags": ("counts_identical",),
     },
     "BENCH_trace_overhead.json": {
@@ -255,6 +259,81 @@ def regress_faults(smoke: bool, checks: list) -> dict:
     }
 
 
+def regress_fastpath(smoke: bool, checks: list) -> dict:
+    """Exact gate on the analytic collective fast path: a mixed
+    workload over every collective must produce bit-identical counts,
+    per-rank virtual clocks AND results with ``fastpath=True`` (the
+    default) versus ``fastpath=False`` (pure message simulation). No
+    baseline file — the comparison is exact, so there is nothing to
+    tolerate."""
+    from repro.analysis.validation import default_machine
+    from repro.simmpi import run_spmd
+
+    import numpy as np
+
+    n = 64 if smoke else 512
+
+    def workload(comm, n):
+        p = comm.size
+        arr = np.arange(float(n)) * (comm.rank + 1)
+        comm.barrier()
+        b = comm.bcast(arr if comm.rank == 0 else None, root=0)
+        s = comm.allreduce(arr)
+        g = comm.allgather(float(s[0]))
+        rs = comm.reduce_scatter(arr)
+        sc = comm.scatter(
+            [np.full(3, float(i)) for i in range(p)] if comm.rank == 2 else None,
+            root=2,
+        )
+        ga = comm.gather(rs, root=1)
+        a2a = comm.alltoall([np.full(4, float(d)) for d in range(p)])
+        br = comm.alltoall_bruck([np.full(2, float(d)) for d in range(p)])
+        red = comm.reduce(arr, root=3)
+        return (
+            float(np.sum(b)) + float(np.sum(s)) + float(np.sum(g))
+            + float(np.sum(rs)) + float(np.sum(sc))
+            + (0.0 if ga is None else float(sum(np.sum(x) for x in ga)))
+            + float(sum(np.sum(x) for x in a2a))
+            + float(sum(np.sum(x) for x in br))
+            + (0.0 if red is None else float(np.sum(red)))
+        )
+
+    machine = default_machine()
+    kwargs = dict(machine=machine, max_message_words=float(n // 4))
+    fast = run_spmd(8, workload, n, **kwargs)
+    slow = run_spmd(8, workload, n, fastpath=False, **kwargs)
+    counts_identical = (
+        fast.report.counts_signature() == slow.report.counts_signature()
+    )
+    vtimes_identical = tuple(r.vtime for r in fast.report.ranks) == tuple(
+        r.vtime for r in slow.report.ranks
+    )
+    results_identical = fast.results == slow.results
+    _check(
+        checks,
+        "fastpath:counts_identical",
+        counts_identical,
+        "fast-path counts match message-path counts (exact)",
+    )
+    _check(
+        checks,
+        "fastpath:vtimes_identical",
+        vtimes_identical,
+        "fast-path virtual clocks match message-path clocks (exact)",
+    )
+    _check(
+        checks,
+        "fastpath:results_identical",
+        results_identical,
+        "fast-path payload results match message-path results",
+    )
+    return {
+        "counts_identical": counts_identical,
+        "vtimes_identical": vtimes_identical,
+        "results_identical": results_identical,
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
@@ -288,6 +367,8 @@ def main(argv=None) -> int:
             fresh[fname] = runner(baselines[fname], args.smoke, checks)
         print("\n== fault hooks (disabled path) ==")
         fresh["faults_disabled_path"] = regress_faults(args.smoke, checks)
+        print("\n== collective fast path (exact equivalence) ==")
+        fresh["fastpath_equivalence"] = regress_fastpath(args.smoke, checks)
 
     ok = all(c["ok"] for c in checks)
     report = {

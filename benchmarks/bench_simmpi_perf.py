@@ -1,19 +1,33 @@
 """Wall-clock benchmark of the simmpi execution substrate.
 
-Times the two optimization axes this repo's simulator exposes —
+Times the three optimization axes this repo's simulator exposes —
 
 * executor: per-call thread ``spawn`` (:func:`repro.simmpi.run_spmd`)
   vs the persistent rank ``pool`` (:class:`repro.simmpi.SpmdPool`);
 * payload transport: legacy deep-``copy``-per-hop vs copy-on-write
-  (``cow``) frozen payloads —
+  (``cow``) frozen payloads;
+* collective engine: the faithful ``message`` simulation (every
+  envelope crosses a mailbox) vs the analytic ``fast`` path
+  (:mod:`repro.simmpi.fastpath`), which resolves each collective once
+  per world in closed form —
 
 on a broadcast-heavy workload (the worst case for per-hop copying: a
-binomial tree moves the payload p-1 times per round) across
-p ∈ {16, 64, 256}, and emits a machine-readable ``BENCH_simmpi.json``
-so the perf trajectory is tracked PR over PR. The seed configuration is
-``spawn + copy``; the headline speedup compares it against
-``pool + cow`` at each p. Every configuration's per-rank counts are
-checked bit-identical before any timing is trusted.
+binomial tree moves the payload p-1 times per round). The full grid
+runs at p ∈ {16, 64, 256}; the fast path additionally unlocks
+p ∈ {1024, 4096}, where only the pooled configurations are timed (the
+seed ``spawn+copy`` configuration is impractical there — which is the
+point). Emits a machine-readable ``BENCH_simmpi.json`` so the perf
+trajectory is tracked PR over PR. Reported speedups:
+
+* ``speedup`` — seed ``spawn+copy`` over ``pool+cow``, both on the
+  message path (the historical headline, gated by bench_regress);
+* ``fastpath_speedup`` — ``pool+cow`` message path over fast path;
+* ``speedup_vs_seed`` — seed ``spawn+copy`` message path over
+  ``pool+cow`` fast path (the end-to-end win of this repo's substrate
+  work).
+
+Every configuration's per-rank counts are checked bit-identical before
+any timing is trusted — including fast vs message path at every p.
 
 Run from the repo root::
 
@@ -34,8 +48,9 @@ import numpy as np
 
 from repro.simmpi import SpmdPool, run_spmd
 
-SCHEMA = "bench_simmpi_perf/v1"
+SCHEMA = "bench_simmpi_perf/v2"
 DEFAULT_SIZES = (16, 64, 256)
+DEFAULT_LARGE_SIZES = (1024, 4096)
 
 
 def bcast_heavy(comm, words: int, rounds: int) -> float:
@@ -57,27 +72,24 @@ def _time_config(
     repeats: int,
     timeout: float,
     payload_mode: str,
+    fastpath: bool,
 ):
-    """One (executor, payload_mode, p) cell: warmup + timed repeats.
-
-    Returns (times, result) where ``result`` is the warmup SpmdResult
-    used for the counts-identity check.
-    """
-    warmup = runner(
-        p, bcast_heavy, words, rounds, timeout=timeout, payload_mode=payload_mode
-    )
+    """One (executor, payload_mode, engine, p) cell: warmup + timed
+    repeats. Returns (times, result) where ``result`` is the warmup
+    SpmdResult used for the counts-identity check."""
+    kwargs = dict(timeout=timeout, payload_mode=payload_mode, fastpath=fastpath)
+    warmup = runner(p, bcast_heavy, words, rounds, **kwargs)
     times = []
     for _ in range(repeats):
         start = time.perf_counter()
-        runner(
-            p, bcast_heavy, words, rounds, timeout=timeout, payload_mode=payload_mode
-        )
+        runner(p, bcast_heavy, words, rounds, **kwargs)
         times.append(time.perf_counter() - start)
     return times, warmup
 
 
 def run_benchmark(
     sizes=DEFAULT_SIZES,
+    large_sizes=(),
     words: int = 1 << 16,
     rounds: int = 3,
     repeats: int = 3,
@@ -85,44 +97,77 @@ def run_benchmark(
 ) -> dict:
     results = []
     speedup = {}
+    fastpath_speedup = {}
+    speedup_vs_seed = {}
     counts_identical = True
 
     with SpmdPool() as pool:
+        # (executor, payload_mode, fastpath) cells per p. Small sizes run
+        # the full historical grid plus the fast path; large sizes skip
+        # the spawn executor and the copy transport (pool+cow is the only
+        # configuration anyone would run there).
+        small_grid = [
+            ("spawn", "copy", False),
+            ("spawn", "cow", False),
+            ("pool", "copy", False),
+            ("pool", "cow", False),
+            ("pool", "cow", True),
+        ]
+        large_grid = [
+            ("pool", "cow", False),
+            ("pool", "cow", True),
+        ]
         executors = {"spawn": run_spmd, "pool": pool.run}
-        for p in sizes:
+        plan = [(p, small_grid) for p in sizes] + [
+            (p, large_grid) for p in large_sizes
+        ]
+        for p, grid in plan:
             cell_times = {}
             signatures = {}
-            for exec_name, runner in executors.items():
-                for mode in ("copy", "cow"):
-                    times, out = _time_config(
-                        runner, p, words, rounds, repeats, timeout, mode
-                    )
-                    cell_times[(exec_name, mode)] = times
-                    signatures[(exec_name, mode)] = out.report.counts_signature()
-                    results.append(
-                        {
-                            "p": p,
-                            "executor": exec_name,
-                            "payload_mode": mode,
-                            "best_s": min(times),
-                            "median_s": statistics.median(times),
-                            "times_s": times,
-                        }
-                    )
-                    print(
-                        f"p={p:4d} {exec_name:5s}+{mode:4s} "
-                        f"best={min(times):.4f}s "
-                        f"median={statistics.median(times):.4f}s"
-                    )
-            baseline_sig = signatures[("spawn", "copy")]
+            for exec_name, mode, fast in grid:
+                times, out = _time_config(
+                    executors[exec_name], p, words, rounds, repeats, timeout,
+                    mode, fast,
+                )
+                engine = "fast" if fast else "message"
+                cell_times[(exec_name, mode, fast)] = times
+                signatures[(exec_name, mode, fast)] = out.report.counts_signature()
+                results.append(
+                    {
+                        "p": p,
+                        "executor": exec_name,
+                        "payload_mode": mode,
+                        "fastpath": fast,
+                        "best_s": min(times),
+                        "median_s": statistics.median(times),
+                        "times_s": times,
+                    }
+                )
+                print(
+                    f"p={p:4d} {exec_name:5s}+{mode:4s}+{engine:7s} "
+                    f"best={min(times):.4f}s "
+                    f"median={statistics.median(times):.4f}s"
+                )
+            baseline_sig = signatures[grid[0]]
             if any(sig != baseline_sig for sig in signatures.values()):
                 counts_identical = False
                 print(f"p={p}: COUNTS DIVERGE ACROSS CONFIGURATIONS")
-            ratio = min(cell_times[("spawn", "copy")]) / min(
-                cell_times[("pool", "cow")]
+            pool_cow_msg = min(cell_times[("pool", "cow", False)])
+            pool_cow_fast = min(cell_times[("pool", "cow", True)])
+            fastpath_speedup[str(p)] = pool_cow_msg / pool_cow_fast
+            print(
+                f"p={p:4d} fastpath speedup (pool+cow message -> fast): "
+                f"{fastpath_speedup[str(p)]:.2f}x"
             )
-            speedup[str(p)] = ratio
-            print(f"p={p:4d} speedup (spawn+copy -> pool+cow): {ratio:.2f}x")
+            if ("spawn", "copy", False) in cell_times:
+                seed = min(cell_times[("spawn", "copy", False)])
+                speedup[str(p)] = seed / pool_cow_msg
+                speedup_vs_seed[str(p)] = seed / pool_cow_fast
+                print(
+                    f"p={p:4d} speedup (spawn+copy -> pool+cow): "
+                    f"{speedup[str(p)]:.2f}x; vs seed incl. fast path: "
+                    f"{speedup_vs_seed[str(p)]:.2f}x"
+                )
 
     return {
         "schema": SCHEMA,
@@ -130,6 +175,8 @@ def run_benchmark(
         "repeats": repeats,
         "results": results,
         "speedup": speedup,
+        "fastpath_speedup": fastpath_speedup,
+        "speedup_vs_seed": speedup_vs_seed,
         "counts_identical": counts_identical,
     }
 
@@ -143,7 +190,11 @@ def main(argv=None) -> int:
     ap.add_argument("--repeats", type=int, default=3,
                     help="timed repetitions per configuration (default 3)")
     ap.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
-                    help="rank counts to benchmark (default 16 64 256)")
+                    help="rank counts for the full grid (default 16 64 256)")
+    ap.add_argument("--large-sizes", type=int, nargs="*",
+                    default=list(DEFAULT_LARGE_SIZES),
+                    help="rank counts for the pool+cow-only fast-path rows "
+                    "(default 1024 4096; pass nothing to skip)")
     ap.add_argument("--timeout", type=float, default=120.0,
                     help="simulator deadlock watchdog seconds (default 120)")
     ap.add_argument(
@@ -154,11 +205,12 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
     if args.words < 1 or args.rounds < 1 or args.repeats < 1:
         ap.error("--words, --rounds and --repeats must all be >= 1")
-    if any(p < 1 for p in args.sizes):
+    if any(p < 1 for p in args.sizes + args.large_sizes):
         ap.error("--sizes entries must be >= 1")
 
     report = run_benchmark(
         sizes=tuple(args.sizes),
+        large_sizes=tuple(args.large_sizes),
         words=args.words,
         rounds=args.rounds,
         repeats=args.repeats,

@@ -29,6 +29,7 @@ from repro.simmpi.events import (
     EventLog,
     collective_span,
 )
+from repro.simmpi.fastpath import CollectiveGate
 from repro.simmpi.faults import (
     CrashFault,
     DelayFault,
@@ -64,6 +65,7 @@ __all__ = [
     "CostCounter",
     "CounterSnapshot",
     "World",
+    "CollectiveGate",
     "Mailbox",
     "ANY_TAG",
     "NOTHING",

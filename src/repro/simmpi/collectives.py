@@ -11,6 +11,7 @@ barrier         dissemination           S = ceil(log2 p), W = 0
 bcast           binomial doubling tree  S <= log2 p, W <= k log2 p (root k)
 reduce          binomial folding tree   S <= log2 p, W <= k log2 p
 allreduce       reduce + bcast          2x the above
+reduce_scatter  ring + ownership rotate S = p, W ~ k (p sends of k/p)
 allgather       ring                    S = p-1, W = (p-1) k
 gather          direct to root          1 send / p-1 recvs
 scatter         direct from root        p-1 sends / 1 recv
@@ -19,6 +20,15 @@ alltoall_bruck  Bruck (p = 2^j)         S = log2 p, W = (p/2) k log2 p
 =============== ======================= =============================
 
 (k here is the per-destination block size for the all-to-alls.)
+
+When the world runs without per-message observers (no tracing, no
+metrics, no fault plan) a collective called with its default algorithm
+and the built-in :func:`sum_op` dispatches to the analytic fast path
+(:mod:`repro.simmpi.fastpath`) instead of the envelope simulation
+below — same counts, virtual clocks and payloads, resolved once per
+communicator instead of once per envelope. Non-default algorithms,
+custom reduce ops, and worlds created with ``fastpath=False`` always
+take the message path.
 
 The two all-to-all variants realize the FFT trade-off of Section IV: the
 cyclic pairwise exchange is the "naive" W = n/p, S = p choice and Bruck
@@ -36,6 +46,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.exceptions import CommunicatorError
+from repro.simmpi import fastpath as _fastpath
 from repro.simmpi.events import collective_span
 from repro.simmpi.payload import copy_payload, freeze_payload
 
@@ -86,6 +97,9 @@ def _wrank(vrank: int, root: int, size: int) -> int:
 
 def barrier(comm) -> None:
     """Dissemination barrier: ceil(log2 p) zero-word rounds."""
+    if comm._gate is not None:
+        _fastpath.run_collective(comm, "barrier", ())
+        return
     with collective_span(comm, "barrier"):
         _barrier_impl(comm)
 
@@ -115,6 +129,8 @@ def bcast(comm, obj: Any, root: int = 0, algorithm: str = "binomial") -> Any:
         large-message cost the paper's W expressions assume. Requires an
         ndarray payload on the root.
     """
+    if comm._gate is not None and algorithm == "binomial":
+        return _fastpath.run_collective(comm, "bcast", (obj, root))
     with collective_span(comm, "bcast", algorithm):
         return _bcast_impl(comm, obj, root, algorithm)
 
@@ -182,6 +198,8 @@ def reduce(
         independent of p (the large-message regime of the models).
         Requires ndarray payloads and the default sum op.
     """
+    if comm._gate is not None and algorithm == "binomial" and op is sum_op:
+        return _fastpath.run_collective(comm, "reduce", (obj, op, root))
     with collective_span(comm, "reduce", algorithm):
         return _reduce_impl(comm, obj, op, root, algorithm)
 
@@ -301,6 +319,8 @@ def reduce_scatter(comm, obj: Any, op: ReduceOp = sum_op) -> Any:
     array_split). ndarray payloads only; p-1 rounds of size/p words —
     the building block of the large-message reduce.
     """
+    if comm._gate is not None and op is sum_op:
+        return _fastpath.run_collective(comm, "reduce_scatter", (obj, op))
     with collective_span(comm, "reduce_scatter", "ring"):
         return _reduce_scatter_impl(comm, obj, op)
 
@@ -334,6 +354,8 @@ def allgather(comm, obj: Any) -> list:
 
     Returns the list of every rank's contribution, indexed by rank.
     """
+    if comm._gate is not None:
+        return _fastpath.run_collective(comm, "allgather", (obj,))
     with collective_span(comm, "allgather", "ring"):
         return _allgather_impl(comm, obj)
 
@@ -361,6 +383,8 @@ def _allgather_impl(comm, obj: Any) -> list:
 
 def gather(comm, obj: Any, root: int = 0) -> list | None:
     """Direct gather to root; returns the rank-indexed list on root."""
+    if comm._gate is not None:
+        return _fastpath.run_collective(comm, "gather", (obj, root))
     with collective_span(comm, "gather", "direct"):
         return _gather_impl(comm, obj, root)
 
@@ -381,6 +405,8 @@ def _gather_impl(comm, obj: Any, root: int) -> list | None:
 
 def scatter(comm, objs: Sequence[Any] | None, root: int = 0) -> Any:
     """Direct scatter from root; rank r receives ``objs[r]``."""
+    if comm._gate is not None:
+        return _fastpath.run_collective(comm, "scatter", (objs, root))
     with collective_span(comm, "scatter", "direct"):
         return _scatter_impl(comm, objs, root)
 
@@ -408,6 +434,8 @@ def alltoall(comm, blocks: Sequence[Any]) -> list:
     (rank - k) mod p. This is the FFT section's "naive" all-to-all:
     every rank sends p-1 separate messages.
     """
+    if comm._gate is not None:
+        return _fastpath.run_collective(comm, "alltoall", (blocks,))
     with collective_span(comm, "alltoall", "pairwise"):
         return _alltoall_impl(comm, blocks)
 
@@ -437,6 +465,8 @@ def alltoall_bruck(comm, blocks: Sequence[Any]) -> list:
     traveling up to log2 p hops: the FFT section's "tree-based"
     all-to-all (W = (p/2)·k·log2 p, S = log2 p per rank).
     """
+    if comm._gate is not None:
+        return _fastpath.run_collective(comm, "alltoall_bruck", (blocks,))
     with collective_span(comm, "alltoall", "bruck"):
         return _alltoall_bruck_impl(comm, blocks)
 

@@ -70,6 +70,14 @@ class Comm:
         #: the world's live FaultState (None for fault-free runs); same
         #: zero-overhead-when-off discipline as ``_elog``/``_mx``
         self._fx = world.faults
+        #: the fast-path rendezvous gate for this communicator's context,
+        #: or None when ineligible (world-level observers active, world
+        #: fastpath=False, or a single-rank group). Per-call conditions
+        #: (default algorithm, built-in op) are checked at the dispatch
+        #: sites in :mod:`repro.simmpi.collectives`.
+        self._gate = None
+        if world.fastpath and len(self._group) > 1:
+            self._gate = world.collective_gate(context, self._group)
 
     # -- identity -------------------------------------------------------
 
@@ -97,6 +105,14 @@ class Comm:
     def copy_on_write(self) -> bool:
         """True when this world uses copy-on-write payload transport."""
         return self._world.copy_on_write
+
+    @property
+    def fastpath_enabled(self) -> bool:
+        """True when eligible collectives on this communicator resolve
+        analytically (see :mod:`repro.simmpi.fastpath`) instead of
+        simulating every envelope. Calls with non-default algorithms or
+        custom reduce ops still take the message path either way."""
+        return self._gate is not None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -9,7 +9,12 @@ memory term delta_e·M·T can be evaluated against a measured high-water
 mark instead of the machine's physical capacity.
 
 Counters are only mutated by their owning rank's thread, so no locking
-is needed; snapshots taken after the SPMD run has joined are safe.
+is needed; snapshots taken after the SPMD run has joined are safe. The
+one deliberate exception is the collective fast path
+(:mod:`repro.simmpi.fastpath`): the leader rank of a gated collective
+calls :meth:`CostCounter.apply_bulk` on every participant's counter
+while those ranks are parked inside the gate, with the gate's event as
+the synchronization point — still race-free, just not owner-thread.
 """
 
 from __future__ import annotations
@@ -154,6 +159,56 @@ class CostCounter:
         if self.recovering:
             self.recovery_words_received += words
             self.recovery_messages_received += messages
+
+    def apply_bulk(
+        self,
+        *,
+        words_sent: int = 0,
+        messages_sent: int = 0,
+        words_received: int = 0,
+        messages_received: int = 0,
+        words_sent_internode: int = 0,
+        messages_sent_internode: int = 0,
+        words_received_internode: int = 0,
+        messages_received_internode: int = 0,
+        vtime: float | None = None,
+    ) -> None:
+        """Apply a whole collective's worth of increments at once.
+
+        Used by the fast path (:mod:`repro.simmpi.fastpath`) to land the
+        analytically computed totals of one collective in a single call
+        per rank, instead of one :meth:`add_send`/:meth:`add_recv` pair
+        per envelope. ``vtime`` is the rank's *absolute* virtual-clock
+        value after the collective (clocks only move forward). The
+        recovery mirror is untouched: fault plans disable the fast path,
+        so bulk applies never happen inside a recovery scope.
+        """
+        if min(
+            words_sent,
+            messages_sent,
+            words_received,
+            messages_received,
+            words_sent_internode,
+            messages_sent_internode,
+            words_received_internode,
+            messages_received_internode,
+        ) < 0:
+            raise ParameterError("bulk tallies must be >= 0")
+        self.words_sent += words_sent
+        self.messages_sent += messages_sent
+        self.words_received += words_received
+        self.messages_received += messages_received
+        self.words_sent_internode += words_sent_internode
+        self.messages_sent_internode += messages_sent_internode
+        self.words_received_internode += words_received_internode
+        self.messages_received_internode += messages_received_internode
+        if vtime is not None:
+            if vtime < self.vtime:
+                raise ParameterError(
+                    f"bulk vtime {vtime!r} would move rank {self.rank}'s "
+                    f"clock backwards from {self.vtime!r}"
+                )
+            self.vtime = vtime
 
     # -- memory high-water tracking (opt-in per algorithm) -------------
 

@@ -123,6 +123,7 @@ def run_spmd(
     trace_capacity: int | None = None,
     metrics: bool = False,
     faults: Any = None,
+    fastpath: bool = True,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``program(comm, *args, **kwargs)`` on ``size`` simulated ranks.
@@ -180,6 +181,13 @@ def run_spmd(
         rank completes, the run succeeds with ``SpmdResult.crashed``
         naming the victims. Counts and virtual clocks are bit-identical
         with ``faults=None`` versus an empty plan.
+    fastpath:
+        When True (default), eligible collectives (default algorithm,
+        built-in reduce op, no tracing/metrics/faults) resolve
+        analytically instead of simulating every envelope — identical
+        counts, virtual clocks and payloads at a fraction of the
+        wall-clock cost (see :mod:`repro.simmpi.fastpath`). Pass False
+        to force the faithful message path everywhere.
 
     Raises
     ------
@@ -200,6 +208,7 @@ def run_spmd(
         trace_capacity=trace_capacity,
         metrics=metrics,
         faults=faults,
+        fastpath=fastpath,
     )
     results: list[Any] = [None] * size
     failures: dict[int, BaseException] = {}

@@ -1,0 +1,766 @@
+"""Analytic fast path for collectives — O(1) rendezvous, closed-form meters.
+
+The message path in :mod:`repro.simmpi.collectives` simulates every
+collective faithfully: a p-rank broadcast moves p-1 envelopes through
+thread mailboxes, each paying a lock, a condition-variable wake and
+per-hop metering under the GIL. Those envelopes exist only to produce
+three observable effects — per-rank counter increments, per-rank
+virtual-clock advances, and delivered payloads. When nothing is
+watching the individual messages (no tracing, no metrics, no fault
+plan, no custom reduce op), all three can be computed *analytically*
+from the same recurrences the binomial/ring/Bruck algorithms induce,
+without any envelope ever crossing a mailbox.
+
+Mechanics: all ranks of the communicator meet at a
+:class:`CollectiveGate` (one per communicator context, owned by the
+:class:`~repro.simmpi.world.World`). The last rank to arrive becomes
+the *leader*: it resolves the whole collective once — validates the
+call, walks the algorithm's communication pattern in closed form,
+bulk-applies every rank's counter increments and final virtual-clock
+value (safe because all other ranks are parked in the gate), and
+publishes the per-rank results. Everyone wakes, picks up its result,
+and continues. Cost per collective: one rendezvous plus O(edges)
+arithmetic in a single thread, instead of O(edges) cross-thread
+envelope deliveries.
+
+Equivalence contract (enforced by ``benchmarks/bench_regress.py``'s
+``regress_fastpath`` gate and ``tests/test_fastpath.py``): for every
+supported collective the fast path is **bit-identical** to the message
+path in ``TraceReport.counts_signature()``, in every rank's virtual
+clock, and in delivered payload contents — including copy-on-write
+read-only-view semantics, two-level internode sub-tallies, and the
+exact float association order of built-in reductions.
+
+Semantics note: the fast path gives every collective *synchronizing*
+semantics (all ranks must arrive before any proceeds), which MPI
+permits for every collective. A program that relies on a collective
+NOT synchronizing (e.g. a root racing ahead of its bcast to satisfy a
+peer's earlier point-to-point receive) is erroneous under the MPI
+standard; it deadlocks here and should run with ``fastpath=False``.
+Mismatched arguments across ranks (different roots, different
+collectives on the same communicator) are reported as
+:class:`~repro.exceptions.CommunicatorError` instead of the message
+path's eventual timeout — a deliberate diagnostic upgrade.
+
+The fall-back rules live at the dispatch sites in
+:mod:`repro.simmpi.collectives`: tracing, metrics, fault plans,
+non-default algorithms and non-builtin reduce ops all take the real
+message path, unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from time import monotonic
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.exceptions import CommunicatorError, DeadlockError, SimulationError
+from repro.simmpi.payload import (
+    copy_payload,
+    freeze_payload,
+    message_count,
+    payload_words,
+)
+
+__all__ = ["CollectiveGate", "run_collective", "resolve"]
+
+
+class _Err:
+    """Outcome wrapper marking 'raise this on that rank' resolutions."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
+class _Cycle:
+    """One rendezvous generation: who parked, who led, and the
+    published outcomes."""
+
+    __slots__ = ("parked", "leader", "outcomes", "aborted")
+
+    def __init__(self, size: int):
+        self.parked = [False] * size
+        self.leader = -1
+        self.outcomes: list | None = None
+        self.aborted = False
+
+
+class CollectiveGate:
+    """Reusable rendezvous for one communicator's rank group.
+
+    Each collective call deposits ``(name, args)`` and blocks; the last
+    arriver resolves the whole collective (see :func:`resolve`) and
+    publishes per-rank outcomes through the current :class:`_Cycle`.
+    The gate is cyclic: a fresh cycle is installed before the old one
+    is published, and a rank can only re-arrive after picking up its
+    previous outcome, so generations never overlap.
+
+    Parked ranks block on persistent per-rank *turnstiles*: plain
+    ``threading.Lock`` objects held in the locked state, used as binary
+    semaphores (wake = ``release()`` by any thread, wait =
+    ``acquire()``, which leaves the turnstile re-armed for the next
+    cycle with zero allocations — much leaner per wake than
+    ``Event``/``Condition``, which allocate a fresh waiter lock on
+    every wait).
+
+    Waking is a *relay*, not a broadcast: the leader wakes only its
+    ring successor, and every rank wakes the next on its way out,
+    stopping after the ring wraps back to the leader. Releasing all
+    p-1 turnstiles from one thread would make every parked thread
+    runnable at once — at p = 4096 on few cores that thundering herd
+    turns each collective into an OS-scheduler/GIL convoy orders of
+    magnitude slower than the arithmetic it replaced. The relay keeps
+    the runnable set at ~2 threads, the same discipline the message
+    path gets for free from pairwise envelope hand-offs.
+    """
+
+    __slots__ = (
+        "world", "group", "size", "_lock", "_arrived", "_inputs", "_cycle",
+        "_turnstiles",
+    )
+
+    def __init__(self, world, group: Sequence[int]):
+        self.world = world
+        self.group = tuple(group)
+        self.size = len(self.group)
+        self._lock = threading.Lock()
+        self._arrived = 0
+        self._inputs: list = [None] * self.size
+        self._cycle = _Cycle(self.size)
+        # Armed (locked) turnstiles; acquire() consumes a wake and
+        # leaves the turnstile armed again.
+        self._turnstiles = [threading.Lock() for _ in range(self.size)]
+        for turnstile in self._turnstiles:
+            turnstile.acquire()
+
+    def rendezvous(self, local_rank: int, item: tuple) -> Any:
+        """Deposit this rank's call and block until the collective is
+        resolved; returns (or raises) this rank's outcome."""
+        with self._lock:
+            cycle = self._cycle
+            self._inputs[local_rank] = item
+            self._arrived += 1
+            if self._arrived == self.size:
+                cycle.leader = local_rank
+                inputs = self._inputs
+                self._inputs = [None] * self.size
+                self._arrived = 0
+                self._cycle = _Cycle(self.size)
+                try:
+                    cycle.outcomes = resolve(self.world, self.group, inputs)
+                finally:
+                    if cycle.outcomes is None:  # resolver unwound (defensive)
+                        cycle.outcomes = [
+                            _Err(SimulationError("collective resolution failed"))
+                        ] * self.size
+                    self._wake_next(cycle, local_rank)
+                return self._pick(cycle, local_rank)
+            cycle.parked[local_rank] = True
+            aborted = cycle.aborted  # World.abort() already swept this cycle
+        # Parked path: wait without the lock. world.abort() interrupts
+        # via the turnstiles; a genuine never-arriving peer trips the
+        # same watchdog budget a blocking receive gets.
+        turnstile = self._turnstiles[local_rank]
+        deadline = monotonic() + self.world.timeout
+        while not aborted:
+            woke = turnstile.acquire(timeout=max(0.0, deadline - monotonic()))
+            if cycle.outcomes is not None:
+                self._wake_next(cycle, local_rank)
+                return self._pick(cycle, local_rank)
+            if cycle.aborted:
+                break
+            if not woke:
+                if self.world.failed.is_set():
+                    break
+                raise DeadlockError(
+                    f"rank {self.group[local_rank]} timed out after "
+                    f"{self.world.timeout}s waiting for peers to enter a "
+                    "collective; likely deadlock (some rank never made the "
+                    "matching call)"
+                )
+            # Spurious wake: a stale arm left over from a wake that
+            # raced a timeout or an abort sweep. Just park again.
+        raise DeadlockError(
+            f"rank {self.group[local_rank]}: collective abandoned because "
+            "a peer rank failed"
+        )
+
+    def _wake_next(self, cycle: _Cycle, local_rank: int) -> None:
+        """Relay the wake to this rank's ring successor; the chain
+        stops once it wraps back around to the leader, so each parked
+        rank is woken exactly once per cycle."""
+        nxt = local_rank + 1
+        if nxt >= self.size:
+            nxt = 0
+        if nxt == cycle.leader:
+            return
+        try:
+            self._turnstiles[nxt].release()
+        except RuntimeError:  # lost a race with interrupt(); the extra
+            pass              # arm is absorbed by the spurious-wake loop
+
+    @staticmethod
+    def _pick(cycle: _Cycle, local_rank: int) -> Any:
+        out = cycle.outcomes[local_rank]
+        if type(out) is _Err:
+            raise out.exc
+        return out
+
+    def interrupt(self) -> None:
+        """Wake ranks parked in an incomplete rendezvous (called by
+        :meth:`~repro.simmpi.world.World.abort` after the failed flag is
+        set). Waking with ``outcomes`` still None is how waiters learn
+        the collective was abandoned. The ``aborted`` flag catches
+        ranks that arrive after this sweep, so they never park."""
+        with self._lock:
+            cycle = self._cycle
+            cycle.aborted = True
+            for local, is_parked in enumerate(cycle.parked):
+                if is_parked:
+                    try:
+                        self._turnstiles[local].release()
+                    except RuntimeError:  # already armed by the relay
+                        pass
+
+
+def run_collective(comm, name: str, args: tuple) -> Any:
+    """Entry point used by the dispatchers in
+    :mod:`repro.simmpi.collectives` once a call has been deemed
+    eligible (``comm._gate`` is set and per-call conditions hold)."""
+    return comm._gate.rendezvous(comm.rank, (name, args))
+
+
+# -- resolution ----------------------------------------------------------
+
+
+class _Ctx:
+    """Per-resolution view of the world restricted to one rank group."""
+
+    __slots__ = ("world", "group", "p", "machine", "mmw", "cow", "counters", "two_level")
+
+    def __init__(self, world, group: tuple):
+        self.world = world
+        self.group = group
+        self.p = len(group)
+        self.machine = world.machine
+        self.mmw = world.max_message_words
+        self.cow = world.copy_on_write
+        self.counters = [world.counters[w] for w in group]
+        self.two_level = world.node_size is not None
+
+    def internode(self, a_local: int, b_local: int) -> bool:
+        if not self.two_level:
+            return False
+        return not self.world.same_node(self.group[a_local], self.group[b_local])
+
+    def entry_vtimes(self) -> np.ndarray | None:
+        if self.machine is None:
+            return None
+        return np.array([c.vtime for c in self.counters], dtype=np.float64)
+
+
+class _Meter:
+    """Accumulates per-rank tallies, then bulk-applies them."""
+
+    __slots__ = ("ctx", "ws", "ms", "wr", "mr", "wsi", "msi", "wri", "mri")
+
+    def __init__(self, ctx: _Ctx):
+        p = ctx.p
+        self.ctx = ctx
+        self.ws = np.zeros(p, dtype=np.int64)
+        self.ms = np.zeros(p, dtype=np.int64)
+        self.wr = np.zeros(p, dtype=np.int64)
+        self.mr = np.zeros(p, dtype=np.int64)
+        self.wsi = np.zeros(p, dtype=np.int64)
+        self.msi = np.zeros(p, dtype=np.int64)
+        self.wri = np.zeros(p, dtype=np.int64)
+        self.mri = np.zeros(p, dtype=np.int64)
+
+    def edge(self, src: int, dst: int, words: int, msgs: int) -> None:
+        """Meter one logical message src -> dst (local ranks)."""
+        self.ws[src] += words
+        self.ms[src] += msgs
+        self.wr[dst] += words
+        self.mr[dst] += msgs
+        if self.ctx.internode(src, dst):
+            self.wsi[src] += words
+            self.msi[src] += msgs
+            self.wri[dst] += words
+            self.mri[dst] += msgs
+
+    def apply(self, vtimes: np.ndarray | Sequence[float] | None) -> None:
+        counters = self.ctx.counters
+        for i in range(self.ctx.p):
+            counters[i].apply_bulk(
+                words_sent=int(self.ws[i]),
+                messages_sent=int(self.ms[i]),
+                words_received=int(self.wr[i]),
+                messages_received=int(self.mr[i]),
+                words_sent_internode=int(self.wsi[i]),
+                messages_sent_internode=int(self.msi[i]),
+                words_received_internode=int(self.wri[i]),
+                messages_received_internode=int(self.mri[i]),
+                vtime=None if vtimes is None else float(vtimes[i]),
+            )
+
+
+def _pack(ctx: _Ctx, obj: Any):
+    """(frozen-or-None, words) of a payload — the one freeze a CoW send
+    chain pays, or a traversal word count for legacy copy worlds."""
+    if ctx.cow:
+        fp = freeze_payload(obj)
+        return fp, fp.words
+    return None, payload_words(obj)
+
+
+def _deliver(ctx: _Ctx, fp, obj: Any) -> Any:
+    """What one receiver ends up holding: a fresh read-only view of the
+    frozen buffer (CoW) or its own deep copy (legacy copy mode)."""
+    if ctx.cow:
+        return fp.view()
+    return copy_payload(obj)
+
+
+def _cost(machine, words: int, msgs: int) -> float:
+    # Mirrors Comm.send exactly: alpha_t * msgs + beta_t * words, in
+    # this operand order, so float rounding matches bit for bit.
+    return machine.alpha_t * msgs + machine.beta_t * words
+
+
+def _cost_vec(machine, words: np.ndarray, msgs: np.ndarray) -> np.ndarray:
+    return machine.alpha_t * msgs + machine.beta_t * words
+
+
+def _mc_vec(words: np.ndarray, mmw: float) -> np.ndarray:
+    if math.isinf(mmw):
+        return np.ones_like(words)
+    return np.maximum(np.ceil(words / mmw).astype(np.int64), 1)
+
+
+def _all_err(p: int, exc: BaseException) -> list:
+    return [_Err(exc)] * p
+
+
+def _partial_err(ctx: _Ctx, errs: dict[int, BaseException]) -> list:
+    """Per-rank failures: the named ranks raise their own exceptions,
+    everyone else is abandoned exactly like a receiver whose peer
+    failed (the engine then reports the named errors as primary)."""
+    out: list = []
+    for i in range(ctx.p):
+        if i in errs:
+            out.append(_Err(errs[i]))
+        else:
+            out.append(
+                _Err(
+                    DeadlockError(
+                        f"rank {ctx.group[i]}: collective abandoned because a "
+                        "peer rank failed"
+                    )
+                )
+            )
+    return out
+
+
+def _check_common_root(ctx: _Ctx, argslist: list, root_index: int):
+    """Validate the root argument: in range (every rank raises, exactly
+    like the per-rank ``_check_root``) and identical across ranks (the
+    message path would deadlock on mismatched tags; the fast path
+    upgrades that to an immediate diagnostic)."""
+    roots = {args[root_index] for args in argslist}
+    if len(roots) != 1:
+        return None, _all_err(
+            ctx.p,
+            CommunicatorError(
+                f"collective root mismatch across ranks: {sorted(roots)!r}"
+            ),
+        )
+    root = roots.pop()
+    if not 0 <= root < ctx.p:
+        return None, _all_err(
+            ctx.p, CommunicatorError(f"root {root} out of range for size {ctx.p}")
+        )
+    return root, None
+
+
+# -- per-collective resolvers -------------------------------------------
+
+
+def _resolve_barrier(ctx: _Ctx, argslist: list) -> list:
+    p = ctx.p
+    meter = _Meter(ctx)
+    t = ctx.entry_vtimes()
+    machine = ctx.machine
+    m = message_count(0, ctx.mmw)
+    step = 1
+    while step < p:
+        for r in range(p):
+            meter.edge(r, (r + step) % p, 0, m)
+        if machine is not None:
+            # send: dep = t + cost; recv from (r-step)%p: max(dep_r, dep_src)
+            dep = t + _cost(machine, 0, m)
+            t = np.maximum(dep, np.roll(dep, step))
+        step <<= 1
+    meter.apply(t)
+    return [None] * p
+
+
+def _resolve_bcast(ctx: _Ctx, argslist: list) -> list:
+    p = ctx.p
+    root, err = _check_common_root(ctx, argslist, 1)
+    if err is not None:
+        return err
+    obj = argslist[root][0]
+    fp, w = _pack(ctx, obj)
+    m = message_count(w, ctx.mmw)
+    meter = _Meter(ctx)
+    machine = ctx.machine
+    # t indexed by vrank (local rank of vrank v is (v + root) % p).
+    t = None
+    if machine is not None:
+        t = [ctx.counters[(v + root) % p].vtime for v in range(p)]
+        cost = _cost(machine, w, m)
+    mask = 1
+    while mask < p:
+        for me in range(min(mask, p - mask)):
+            peer = me + mask
+            meter.edge((me + root) % p, (peer + root) % p, w, m)
+            if machine is not None:
+                t[me] += cost
+                if t[me] > t[peer]:
+                    t[peer] = t[me]
+        mask <<= 1
+    vt = None
+    if machine is not None:
+        vt = [0.0] * p
+        for v in range(p):
+            vt[(v + root) % p] = t[v]
+    meter.apply(vt)
+    return [_deliver(ctx, fp, obj) for _ in range(p)]
+
+
+def _resolve_reduce(ctx: _Ctx, argslist: list) -> list:
+    p = ctx.p
+    root, err = _check_common_root(ctx, argslist, 2)
+    if err is not None:
+        return err
+    op = argslist[root][1]
+    # Accumulators in vrank order, starting from each rank's private copy.
+    accs: list = [copy_payload(argslist[(v + root) % p][0]) for v in range(p)]
+    meter = _Meter(ctx)
+    machine = ctx.machine
+    t = None
+    if machine is not None:
+        t = [ctx.counters[(v + root) % p].vtime for v in range(p)]
+    mask = 1
+    while mask < p:
+        for me in range(0, p - mask, mask << 1):
+            s = me + mask
+            w = payload_words(accs[s])
+            m = message_count(w, ctx.mmw)
+            meter.edge((s + root) % p, (me + root) % p, w, m)
+            if machine is not None:
+                t[s] += _cost(machine, w, m)
+                if t[s] > t[me]:
+                    t[me] = t[s]
+            try:
+                accs[me] = op(accs[me], accs[s])
+            except Exception as exc:
+                return _partial_err(ctx, {(me + root) % p: exc})
+            accs[s] = None  # that rank has exited the tree
+        mask <<= 1
+    vt = None
+    if machine is not None:
+        vt = [0.0] * p
+        for v in range(p):
+            vt[(v + root) % p] = t[v]
+    meter.apply(vt)
+    out: list = [None] * p
+    out[root] = accs[0]
+    return out
+
+
+def _resolve_reduce_scatter(ctx: _Ctx, argslist: list) -> list:
+    p = ctx.p
+    bad = {
+        i: CommunicatorError(
+            f"reduce_scatter needs an ndarray payload, got {type(args[0]).__name__}"
+        )
+        for i, args in enumerate(argslist)
+        if not isinstance(args[0], np.ndarray)
+    }
+    if bad:
+        return _partial_err(ctx, bad)
+    op = argslist[0][1]
+    accs = [
+        [np.array(c, copy=True) for c in np.array_split(args[0].ravel(), p)]
+        for args in argslist
+    ]
+    meter = _Meter(ctx)
+    machine = ctx.machine
+    t = ctx.entry_vtimes()
+    for s in range(1, p):
+        send_at = [(r - s + 1) % p for r in range(p)]
+        sent = [accs[r][send_at[r]] for r in range(p)]
+        w = np.array([a.size for a in sent], dtype=np.int64)
+        m = _mc_vec(w, ctx.mmw)
+        for r in range(p):
+            meter.edge(r, (r + 1) % p, int(w[r]), int(m[r]))
+        if machine is not None:
+            dep = t + _cost_vec(machine, w, m)
+            t = np.maximum(dep, np.roll(dep, 1))
+        for r in range(p):
+            recv_idx = (r - s) % p
+            try:
+                accs[r][recv_idx] = op(accs[r][recv_idx], sent[(r - 1) % p])
+            except Exception as exc:
+                return _partial_err(ctx, {r: exc})
+    # Ownership rotation: rank r ships its reduced chunk (r+1)%p right.
+    owned = [accs[r][(r + 1) % p] for r in range(p)]
+    w = np.array([a.size for a in owned], dtype=np.int64)
+    m = _mc_vec(w, ctx.mmw)
+    for r in range(p):
+        meter.edge(r, (r + 1) % p, int(w[r]), int(m[r]))
+    if machine is not None:
+        dep = t + _cost_vec(machine, w, m)
+        t = np.maximum(dep, np.roll(dep, 1))
+    meter.apply(t)
+    out: list = []
+    for r in range(p):
+        chunk = owned[(r - 1) % p]
+        fp = freeze_payload(chunk) if ctx.cow else None
+        out.append(_deliver(ctx, fp, chunk))
+    return out
+
+
+def _resolve_allgather(ctx: _Ctx, argslist: list) -> list:
+    p = ctx.p
+    packs = [_pack(ctx, args[0]) for args in argslist]
+    w = np.array([words for _fp, words in packs], dtype=np.int64)
+    m = _mc_vec(w, ctx.mmw)
+    meter = _Meter(ctx)
+    total_w, total_m = int(w.sum()), int(m.sum())
+    for r in range(p):
+        # Rank r forwards every block except origin (r+1)%p to its right
+        # neighbor, and receives every block except its own from the left.
+        nxt = (r + 1) % p
+        ws, ms = total_w - int(w[nxt]), total_m - int(m[nxt])
+        wr, mr = total_w - int(w[r]), total_m - int(m[r])
+        meter.ws[r] += ws
+        meter.ms[r] += ms
+        meter.wr[r] += wr
+        meter.mr[r] += mr
+        if ctx.internode(r, nxt):
+            meter.wsi[r] += ws
+            meter.msi[r] += ms
+        if ctx.internode((r - 1) % p, r):
+            meter.wri[r] += wr
+            meter.mri[r] += mr
+    t = ctx.entry_vtimes()
+    if ctx.machine is not None:
+        for s in range(p - 1):
+            w_send = np.roll(w, s)  # rank r ships origin (r-s)%p at step s
+            m_send = np.roll(m, s)
+            dep = t + _cost_vec(ctx.machine, w_send, m_send)
+            t = np.maximum(dep, np.roll(dep, 1))
+    meter.apply(t)
+    return [
+        [_deliver(ctx, fp, argslist[o][0]) for o, (fp, _w) in enumerate(packs)]
+        for _ in range(p)
+    ]
+
+
+def _resolve_gather(ctx: _Ctx, argslist: list) -> list:
+    p = ctx.p
+    root, err = _check_common_root(ctx, argslist, 1)
+    if err is not None:
+        return err
+    packs = [_pack(ctx, args[0]) for args in argslist]
+    meter = _Meter(ctx)
+    machine = ctx.machine
+    t = ctx.entry_vtimes()
+    for r in range(p):
+        if r == root:
+            continue
+        _fp, w = packs[r]
+        m = message_count(w, ctx.mmw)
+        meter.edge(r, root, w, m)
+        if machine is not None:
+            t[r] += _cost(machine, w, m)
+            if t[r] > t[root]:
+                t[root] = t[r]
+    meter.apply(t)
+    out: list = [None] * p
+    out[root] = [_deliver(ctx, fp, argslist[r][0]) for r, (fp, _w) in enumerate(packs)]
+    return out
+
+
+def _resolve_scatter(ctx: _Ctx, argslist: list) -> list:
+    p = ctx.p
+    root, err = _check_common_root(ctx, argslist, 1)
+    if err is not None:
+        return err
+    objs = argslist[root][0]
+    if objs is None or len(objs) != p:
+        return _partial_err(
+            ctx,
+            {
+                root: CommunicatorError(
+                    f"scatter root needs a length-{p} sequence, got "
+                    f"{None if objs is None else len(objs)}"
+                )
+            },
+        )
+    packs = [_pack(ctx, objs[r]) for r in range(p)]
+    meter = _Meter(ctx)
+    machine = ctx.machine
+    t = ctx.entry_vtimes()
+    for r in range(p):
+        if r == root:
+            continue
+        _fp, w = packs[r]
+        m = message_count(w, ctx.mmw)
+        meter.edge(root, r, w, m)
+        if machine is not None:
+            # Root's sends are sequential in ascending r; each receiver
+            # syncs to the departure time of its own message.
+            t[root] += _cost(machine, w, m)
+            if t[root] > t[r]:
+                t[r] = t[root]
+    meter.apply(t)
+    return [_deliver(ctx, packs[r][0], objs[r]) for r in range(p)]
+
+
+def _resolve_alltoall(ctx: _Ctx, argslist: list) -> list:
+    p = ctx.p
+    bad = {
+        i: CommunicatorError(
+            f"alltoall needs one block per rank ({p}), got {len(args[0])}"
+        )
+        for i, args in enumerate(argslist)
+        if len(args[0]) != p
+    }
+    if bad:
+        return _partial_err(ctx, bad)
+    packs = [[_pack(ctx, args[0][d]) for d in range(p)] for args in argslist]
+    w = np.array([[words for _fp, words in row] for row in packs], dtype=np.int64)
+    m = _mc_vec(w, ctx.mmw)
+    meter = _Meter(ctx)
+    idx = np.arange(p)
+    off = np.eye(p, dtype=bool)  # own block never crosses the network
+    meter.ws += np.where(off, 0, w).sum(axis=1)
+    meter.ms += np.where(off, 0, m).sum(axis=1)
+    meter.wr += np.where(off, 0, w).sum(axis=0)
+    meter.mr += np.where(off, 0, m).sum(axis=0)
+    if ctx.two_level:
+        nodes = np.array(
+            [ctx.group[r] // ctx.world.node_size for r in range(p)], dtype=np.int64
+        )
+        inter = nodes[:, None] != nodes[None, :]
+        meter.wsi += np.where(inter, w, 0).sum(axis=1)
+        meter.msi += np.where(inter, m, 0).sum(axis=1)
+        meter.wri += np.where(inter, w, 0).sum(axis=0)
+        meter.mri += np.where(inter, m, 0).sum(axis=0)
+    t = ctx.entry_vtimes()
+    if ctx.machine is not None:
+        for k in range(1, p):
+            dest = (idx + k) % p
+            dep = t + _cost_vec(ctx.machine, w[idx, dest], m[idx, dest])
+            t = np.maximum(dep, np.roll(dep, k))
+    meter.apply(t)
+    return [
+        [_deliver(ctx, packs[src][r][0], argslist[src][0][r]) for src in range(p)]
+        for r in range(p)
+    ]
+
+
+def _resolve_alltoall_bruck(ctx: _Ctx, argslist: list) -> list:
+    p = ctx.p
+    if p & (p - 1):
+        return _all_err(
+            ctx.p,
+            CommunicatorError(
+                f"alltoall_bruck requires a power-of-two size, got {p}"
+            ),
+        )
+    bad = {
+        i: CommunicatorError(
+            f"alltoall_bruck needs one block per rank ({p}), got {len(args[0])}"
+        )
+        for i, args in enumerate(argslist)
+        if len(args[0]) != p
+    }
+    if bad:
+        return _partial_err(ctx, bad)
+    # Phase-1 rotation: slot j on rank r holds the block for relative
+    # destination j, frozen once (the log p re-shippings all adopt it).
+    packs = [
+        [_pack(ctx, argslist[r][0][(r + j) % p]) for j in range(p)] for r in range(p)
+    ]
+    W = np.array([[words for _fp, words in row] for row in packs], dtype=np.int64)
+    meter = _Meter(ctx)
+    t = ctx.entry_vtimes()
+    mask = 1
+    while mask < p:
+        ship = [j for j in range(p) if j & mask]
+        sent_w = W[:, ship].sum(axis=1)
+        sent_m = _mc_vec(sent_w, ctx.mmw)
+        for r in range(p):
+            meter.edge(r, (r + mask) % p, int(sent_w[r]), int(sent_m[r]))
+        if ctx.machine is not None:
+            dep = t + _cost_vec(ctx.machine, sent_w, sent_m)
+            t = np.maximum(dep, np.roll(dep, mask))
+        # Shipped slots now hold whatever the left-by-mask rank had.
+        W[:, ship] = np.roll(W[:, ship], mask, axis=0)
+        mask <<= 1
+    meter.apply(t)
+    # Block from src destined to r sits in packs[src][(r - src) % p].
+    return [
+        [
+            _deliver(ctx, packs[src][(r - src) % p][0], argslist[src][0][r])
+            for src in range(p)
+        ]
+        for r in range(p)
+    ]
+
+
+_RESOLVERS = {
+    "barrier": _resolve_barrier,
+    "bcast": _resolve_bcast,
+    "reduce": _resolve_reduce,
+    "reduce_scatter": _resolve_reduce_scatter,
+    "allgather": _resolve_allgather,
+    "gather": _resolve_gather,
+    "scatter": _resolve_scatter,
+    "alltoall": _resolve_alltoall,
+    "alltoall_bruck": _resolve_alltoall_bruck,
+}
+
+
+def resolve(world, group: tuple, inputs: list) -> list:
+    """Leader-side resolution of one collective call for a whole group.
+
+    ``inputs[i]`` is local rank i's deposited ``(name, args)``. Returns
+    one outcome per rank: a value to return, or an :class:`_Err` to
+    raise. Never raises itself — resolution failures become per-rank
+    errors so the gate can never wedge its waiters.
+    """
+    p = len(group)
+    names = {name for name, _args in inputs}
+    if len(names) != 1:
+        return _all_err(
+            p,
+            CommunicatorError(
+                "collective mismatch on fast path: ranks concurrently called "
+                f"{sorted(names)!r} on the same communicator"
+            ),
+        )
+    ctx = _Ctx(world, group)
+    try:
+        return _RESOLVERS[inputs[0][0]](ctx, [args for _name, args in inputs])
+    except BaseException as exc:  # noqa: BLE001 - delivered to every rank
+        return _all_err(p, exc)

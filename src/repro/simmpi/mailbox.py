@@ -38,7 +38,16 @@ ANY_TAG: object = object()
 class Mailbox:
     """Per-rank inbox with blocking, channel-matched receives."""
 
-    __slots__ = ("owner_rank", "metrics", "_lock", "_ready", "_boxes", "_stamp", "_pending")
+    __slots__ = (
+        "owner_rank",
+        "metrics",
+        "_lock",
+        "_ready",
+        "_boxes",
+        "_stamp",
+        "_pending",
+        "_closed",
+    )
 
     def __init__(self, owner_rank: int):
         self.owner_rank = owner_rank
@@ -56,11 +65,24 @@ class Mailbox:
         self._stamp = 0
         # Live undelivered-message count (kept exact under the lock).
         self._pending = 0
+        # Set by close() when the owning rank dies: the channel index is
+        # pruned and later deposits are dropped on the floor.
+        self._closed = False
 
     def put(self, source: int, context: Hashable, tag: Hashable, payload: Any) -> None:
-        """Deposit a message (called from the sender's thread)."""
+        """Deposit a message (called from the sender's thread).
+
+        Deposits into a closed mailbox (the owner's injected crash
+        already fired) are silently dropped — the dead rank will never
+        receive again, and retaining its channels would grow the index
+        without bound under :class:`~repro.simmpi.pool.SpmdPool` reuse
+        with fault plans. The sender's metering is untouched: its words
+        left its NIC whether or not anyone was listening.
+        """
         key = (source, context)
         with self._ready:
+            if self._closed:
+                return
             box = self._boxes.get(key)
             if box is None:
                 box = self._boxes[key] = {}
@@ -160,6 +182,20 @@ class Mailbox:
     def interrupt(self) -> None:
         """Wake all blocked receivers (engine uses this on rank failure)."""
         with self._ready:
+            self._ready.notify_all()
+
+    def close(self) -> None:
+        """Prune the channel index and refuse further deposits.
+
+        Called by :meth:`~repro.simmpi.world.World.mark_dead` once the
+        owning rank's injected crash fires: its pending messages are
+        unreachable (the owner will never call ``get`` again) and any
+        in-flight or future sends to it are dropped. Idempotent.
+        """
+        with self._ready:
+            self._boxes.clear()
+            self._pending = 0
+            self._closed = True
             self._ready.notify_all()
 
 

@@ -201,6 +201,7 @@ class SpmdPool:
         trace_capacity: int | None = None,
         metrics: bool = False,
         faults: Any = None,
+        fastpath: bool = True,
         **kwargs: Any,
     ) -> SpmdResult:
         """Run ``program(comm, *args, **kwargs)`` on ``size`` pooled ranks.
@@ -208,7 +209,8 @@ class SpmdPool:
         Drop-in equivalent of :func:`~repro.simmpi.engine.run_spmd` —
         identical signature, results, trace counts, and failure
         behavior (including ``trace=``/``trace_capacity=`` event
-        tracing, ``metrics=`` run metrics and ``faults=`` injection) —
+        tracing, ``metrics=`` run metrics, ``faults=`` injection and
+        the ``fastpath=`` analytic-collective toggle) —
         minus the per-call thread spawn/join. Like ``run_spmd``'s join
         watchdog, a rank wedged outside a receive raises
         :class:`~repro.exceptions.DeadlockError` naming the stuck ranks
@@ -226,6 +228,7 @@ class SpmdPool:
             trace_capacity=trace_capacity,
             metrics=metrics,
             faults=faults,
+            fastpath=fastpath,
         )
         results: list[Any] = [None] * size
         failures: dict[int, BaseException] = {}

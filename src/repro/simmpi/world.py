@@ -75,6 +75,16 @@ class World:
         message indices. None (default) — the disabled path pays only
         one ``is None`` test per operation, and counts and virtual
         clocks are bit-identical either way.
+    fastpath:
+        When True (default), collectives called with their default
+        algorithm and built-in reduce op resolve analytically through a
+        per-communicator :class:`~repro.simmpi.fastpath.CollectiveGate`
+        instead of moving O(p log p) envelopes through mailboxes —
+        bit-identical counts, virtual clocks and payloads (see
+        :mod:`repro.simmpi.fastpath`). Automatically disabled when
+        ``trace``, ``metrics`` or ``faults`` need to observe individual
+        messages; pass ``fastpath=False`` to force the message path
+        outright.
     """
 
     def __init__(
@@ -89,6 +99,7 @@ class World:
         trace_capacity: int | None = None,
         metrics: bool = False,
         faults=None,
+        fastpath: bool = True,
     ):
         if size < 1:
             raise ValueError(f"world size must be >= 1, got {size}")
@@ -148,6 +159,32 @@ class World:
         self.dead: set[int] = set()
         #: set once any rank raises; receivers poll it via interrupt()
         self.failed = threading.Event()
+        #: True when eligible collectives resolve analytically — any
+        #: per-message observer (tracing, metrics, faults) forces the
+        #: faithful envelope simulation instead
+        self.fastpath = (
+            bool(fastpath)
+            and not self.trace
+            and self.rank_metrics is None
+            and self.faults is None
+        )
+        #: per-communicator-context CollectiveGates, created lazily by
+        #: collective_gate() as Comms are constructed
+        self._gates: dict[tuple, object] = {}
+        self._gates_lock = threading.Lock()
+
+    def collective_gate(self, context: tuple, group) -> "object":
+        """Return (creating on first use) the fast-path rendezvous gate
+        for one communicator context. All ranks of a communicator share
+        a deterministic context tuple, so they all land on one gate."""
+        with self._gates_lock:
+            gate = self._gates.get(context)
+            if gate is None:
+                from repro.simmpi.fastpath import CollectiveGate
+
+                gate = CollectiveGate(self, group)
+                self._gates[context] = gate
+            return gate
 
     def mark_dead(self, rank: int) -> None:
         """Record an isolated (injected) rank crash.
@@ -156,8 +193,13 @@ class World:
         keep running, but blocked receivers are woken so waits on the
         dead rank can convert into
         :class:`~repro.exceptions.PeerDeadError` via their abort checks.
+        The dead rank's own mailbox is closed — its channel index is
+        pruned and later sends to it are dropped — so long-lived
+        :class:`~repro.simmpi.pool.SpmdPool` reuse under fault plans
+        doesn't accrete channels nobody will ever drain.
         """
         self.dead.add(rank)
+        self.mailboxes[rank].close()
         for box in self.mailboxes:
             box.interrupt()
 
@@ -180,3 +222,7 @@ class World:
         self.failed.set()
         for box in self.mailboxes:
             box.interrupt()
+        with self._gates_lock:
+            gates = list(self._gates.values())
+        for gate in gates:
+            gate.interrupt()

@@ -1,0 +1,350 @@
+"""Fast-path equivalence and fallback tests.
+
+The analytic collective fast path (:mod:`repro.simmpi.fastpath`)
+promises bit-identical ``counts_signature()``, per-rank virtual clocks
+and payload contents versus the faithful message-path simulation. The
+matrix here exercises that promise over every collective, both payload
+modes and several world sizes, and verifies that each observer that
+needs real envelopes (tracing, metrics, fault plans, custom reduce
+ops, non-default algorithms, ``fastpath=False``) actually forces the
+message path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import MachineParameters
+from repro.exceptions import CommunicatorError, RankFailedError
+from repro.simmpi import FaultPlan, SlowdownFault, run_spmd
+from repro.simmpi import fastpath as fastpath_mod
+from repro.simmpi.collectives import sum_op
+
+MACHINE = MachineParameters(
+    gamma_t=2e-9,
+    beta_t=3e-8,
+    alpha_t=5e-6,
+    gamma_e=4e-9,
+    beta_e=6e-8,
+    alpha_e=2e-6,
+    delta_e=7e-9,
+    epsilon_e=1e-3,
+    memory_words=float(2**30),
+    max_message_words=float(2**16),
+)
+
+SIZES = (4, 16, 64)
+MODES = ("copy", "cow")
+
+# Per-destination payloads are seeded from (rank, dest) so every block
+# is distinct and any routing error shows up in the contents check.
+_SEED_RNG = np.random.default_rng(20260808)
+_BASE = _SEED_RNG.normal(size=97)
+
+
+def _payload(rank: int, n: int = 23) -> np.ndarray:
+    return np.resize(_BASE, n) * (rank + 1)
+
+
+def _prog_barrier(comm):
+    comm.barrier()
+    return comm.rank
+
+
+def _prog_bcast(comm):
+    obj = _payload(comm.rank) if comm.rank == 1 else None
+    return comm.bcast(obj, root=1)
+
+
+def _prog_reduce(comm):
+    out = comm.reduce(_payload(comm.rank), root=2)
+    return None if out is None else out
+
+
+def _prog_allreduce(comm):
+    return comm.allreduce(_payload(comm.rank))
+
+
+def _prog_reduce_scatter(comm):
+    return comm.reduce_scatter(_payload(comm.rank, n=4 * comm.size + 3))
+
+
+def _prog_allgather(comm):
+    return comm.allgather(_payload(comm.rank, n=7 + comm.rank % 3))
+
+
+def _prog_gather(comm):
+    return comm.gather(_payload(comm.rank, n=5 + comm.rank % 4), root=3)
+
+
+def _prog_scatter(comm):
+    p = comm.size
+    objs = None
+    if comm.rank == 2:
+        objs = [_payload(r, n=6 + r % 5) for r in range(p)]
+    return comm.scatter(objs, root=2)
+
+
+def _prog_alltoall(comm):
+    blocks = [_payload(comm.rank * comm.size + d, n=3 + d % 4) for d in range(comm.size)]
+    return comm.alltoall(blocks)
+
+
+def _prog_alltoall_bruck(comm):
+    blocks = [_payload(comm.rank * comm.size + d, n=3 + d % 4) for d in range(comm.size)]
+    return comm.alltoall_bruck(blocks)
+
+
+PROGRAMS = {
+    "barrier": _prog_barrier,
+    "bcast": _prog_bcast,
+    "reduce": _prog_reduce,
+    "allreduce": _prog_allreduce,
+    "reduce_scatter": _prog_reduce_scatter,
+    "allgather": _prog_allgather,
+    "gather": _prog_gather,
+    "scatter": _prog_scatter,
+    "alltoall": _prog_alltoall,
+    "alltoall_bruck": _prog_alltoall_bruck,
+}
+
+
+def _flatten(value):
+    """Strict structural normalization so ndarray contents (and their
+    exact values), list shapes and scalars all compare."""
+    if isinstance(value, np.ndarray):
+        return ("nd", value.shape, value.tobytes())
+    if isinstance(value, (list, tuple)):
+        return (type(value).__name__, tuple(_flatten(v) for v in value))
+    return value
+
+
+def _compare_runs(size, program, **kwargs):
+    fast = run_spmd(size, program, machine=MACHINE, **kwargs)
+    slow = run_spmd(size, program, machine=MACHINE, fastpath=False, **kwargs)
+    assert fast.report.counts_signature() == slow.report.counts_signature()
+    fast_vt = [r.vtime for r in fast.report.ranks]
+    slow_vt = [r.vtime for r in slow.report.ranks]
+    assert fast_vt == slow_vt  # bit-identical, not approx
+    assert [_flatten(r) for r in fast.results] == [_flatten(r) for r in slow.results]
+    assert fast.report.words_conserved()
+    return fast, slow
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("collective", sorted(PROGRAMS))
+    def test_counts_vtimes_payloads_identical(self, collective, size, mode):
+        _compare_runs(
+            size,
+            PROGRAMS[collective],
+            payload_mode=mode,
+            max_message_words=64.0,
+        )
+
+    def test_mixed_workload_with_nodes_and_subcomms(self):
+        def program(comm):
+            comm.barrier()
+            half = comm.split(comm.rank % 2)
+            local = half.allreduce(_payload(comm.rank))
+            gathered = comm.gather(float(local.sum()), root=0)
+            back = comm.bcast(gathered, root=0)
+            return tuple(back)
+
+        _compare_runs(8, program, node_size=4, max_message_words=16.0)
+
+    def test_read_only_views_in_cow_mode(self):
+        def program(comm):
+            out = comm.bcast(_payload(0) if comm.rank == 0 else None, root=0)
+            return out.flags.writeable
+
+        fast = run_spmd(8, program, payload_mode="cow")
+        assert fast.results == (False,) * 8
+
+    def test_zero_and_scalar_payloads(self):
+        def program(comm):
+            a = comm.bcast(None if comm.rank else 0.5, root=0)
+            b = comm.allgather(None)
+            c = comm.gather("word" * comm.rank, root=0)
+            return (a, tuple(b), None if c is None else tuple(c))
+
+        _compare_runs(4, program)
+
+
+class TestFallbacks:
+    """Each per-message observer must take the envelope path. Proven by
+    poisoning the resolver table: if the fast path engaged, the run
+    would fail loudly."""
+
+    @pytest.fixture
+    def poisoned(self, monkeypatch):
+        def boom(*_a, **_k):  # pragma: no cover - must never run
+            raise AssertionError("fast path engaged but should have fallen back")
+
+        monkeypatch.setattr(
+            fastpath_mod, "_RESOLVERS", {k: boom for k in fastpath_mod._RESOLVERS}
+        )
+
+    def test_fastpath_false_forces_message_path(self, poisoned):
+        out = run_spmd(4, _prog_allreduce, fastpath=False)
+        assert len(out.results) == 4
+
+    def test_trace_forces_message_path(self, poisoned):
+        out = run_spmd(4, _prog_allreduce, trace=True)
+        assert any(e.kind == "coll" for e in out.event_logs[0].events())
+
+    def test_metrics_forces_message_path(self, poisoned):
+        out = run_spmd(4, _prog_allreduce, metrics=True)
+        assert out.metrics is not None
+
+    def test_faults_force_message_path(self, poisoned):
+        plan = FaultPlan([SlowdownFault(rank=1, factor=2.0, first_op=2, last_op=4)])
+        out = run_spmd(4, _prog_allreduce, faults=plan)
+        assert len(out.results) == 4
+
+    def test_custom_op_forces_message_path(self, poisoned):
+        def prog(comm):
+            a = comm.reduce(float(comm.rank), op=lambda x, y: max(x, y), root=0)
+            b = comm.reduce_scatter(
+                np.arange(8.0), op=lambda x, y: np.maximum(x, y)
+            )
+            return (a, float(b.sum()))
+
+        out = run_spmd(4, prog)
+        assert out.results[0][0] == 3.0
+
+    def test_nondefault_algorithms_force_message_path(self, poisoned):
+        # Both variants below are raw point-to-point implementations —
+        # no nested default-algorithm collectives to accelerate.
+        def prog(comm):
+            b = comm.reduce(
+                np.arange(32.0), root=0, algorithm="reduce_scatter_gather"
+            )
+            c = comm.allreduce(float(comm.rank), algorithm="recursive_doubling")
+            return (None if b is None else float(b.sum()), c)
+
+        out = run_spmd(4, prog)
+        assert out.results[0][1] == 6.0
+
+    def test_composites_accelerate_their_inner_stages(self):
+        # allreduce(reduce_bcast) and bcast(scatter_allgather) are built
+        # from default-algorithm collectives, which ride the fast path
+        # even though the outer composite has no resolver of its own —
+        # and stay bit-identical to the full message path.
+        def prog(comm):
+            a = comm.allreduce(_payload(comm.rank))
+            b = comm.bcast(
+                np.arange(64.0) if comm.rank == 0 else None,
+                root=0,
+                algorithm="scatter_allgather",
+            )
+            return (float(a.sum()), float(b.sum()))
+
+        _compare_runs(8, prog, max_message_words=16.0)
+
+    def test_default_world_uses_fast_path(self, poisoned):
+        with pytest.raises(RankFailedError):
+            run_spmd(4, _prog_allreduce)
+
+    def test_fastpath_enabled_property(self):
+        def prog(comm):
+            return comm.fastpath_enabled
+
+        assert run_spmd(4, prog).results == (True,) * 4
+        assert run_spmd(4, prog, fastpath=False).results == (False,) * 4
+        assert run_spmd(4, prog, trace=True).results == (False,) * 4
+        assert run_spmd(4, prog, metrics=True).results == (False,) * 4
+        assert run_spmd(1, prog).results == (False,)
+
+
+class TestGateErrors:
+    def test_out_of_range_root_raises_everywhere(self):
+        def prog(comm):
+            return comm.bcast(1.0, root=99)
+
+        with pytest.raises(RankFailedError) as info:
+            run_spmd(4, prog)
+        assert all(
+            isinstance(e, CommunicatorError) for e in info.value.failures.values()
+        )
+
+    def test_root_mismatch_is_diagnosed(self):
+        # The message path would time out on mismatched tags; the gate
+        # sees all arguments at once and upgrades this to an immediate
+        # CommunicatorError on every rank.
+        def prog(comm):
+            return comm.bcast(1.0, root=comm.rank % 2)
+
+        with pytest.raises(RankFailedError) as info:
+            run_spmd(4, prog, timeout=5.0)
+        assert any(
+            "root mismatch" in str(e) for e in info.value.failures.values()
+        )
+
+    def test_scatter_bad_length_blames_root(self):
+        def prog(comm):
+            return comm.scatter([1, 2] if comm.rank == 0 else None, root=0)
+
+        with pytest.raises(RankFailedError) as info:
+            run_spmd(4, prog)
+        assert any(
+            isinstance(e, CommunicatorError) and "length-4" in str(e)
+            for e in info.value.failures.values()
+        )
+
+    def test_mismatched_collectives_are_diagnosed(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.barrier()
+            else:
+                comm.allgather(comm.rank)
+            return True
+
+        with pytest.raises(RankFailedError) as info:
+            run_spmd(4, prog, timeout=5.0)
+        assert any(
+            "collective mismatch" in str(e) for e in info.value.failures.values()
+        )
+
+    def test_peer_failure_interrupts_parked_ranks(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("boom before the collective")
+            comm.barrier()
+            return True
+
+        with pytest.raises(RankFailedError) as info:
+            run_spmd(4, prog, timeout=5.0)
+        assert isinstance(info.value.failures[0], ValueError)
+
+
+class TestDeadRankMailboxPruning:
+    def test_close_drops_pending_and_refuses_deposits(self):
+        from repro.simmpi.mailbox import NOTHING, Mailbox
+
+        box = Mailbox(0)
+        box.put(1, "ctx", 0, "a")
+        box.put(2, "ctx", 1, "b")
+        assert box.pending() == 2
+        box.close()
+        assert box.pending() == 0
+        assert box._boxes == {}
+        box.put(3, "ctx", 0, "late")
+        assert box.pending() == 0
+        assert box.try_get(3, "ctx", 0) is NOTHING
+        box.close()  # idempotent
+
+    def test_mark_dead_prunes_the_dead_ranks_index(self):
+        from repro.simmpi.world import World
+
+        world = World(4)
+        world.mailboxes[2].put(0, "ctx", 0, "never drained")
+        assert world.mailboxes[2].pending() == 1
+        world.mark_dead(2)
+        assert world.mailboxes[2].pending() == 0
+        assert world.mailboxes[2]._boxes == {}
+        # Survivors' boxes are untouched and still accept traffic.
+        world.mailboxes[1].put(0, "ctx", 0, "fine")
+        assert world.mailboxes[1].pending() == 1
