@@ -21,10 +21,11 @@ is the PR gate over them:
 3. The fresh runs' own correctness flags must hold (bit-identical
    counts with tracing/metrics on or off) — these are exact, not
    tolerance-based.
-4. **Baseline-less exact gates** — the fault hooks' disabled path and
-   the analytic collective fast path must each be bit-identical
-   (counts, per-rank virtual clocks, results) to their reference
-   paths. Exact comparisons; nothing to tolerate.
+4. **Baseline-less exact gates** — the fault hooks' disabled path, the
+   analytic collective fast path, and the observatory's ``record=``
+   run-ledger hook must each be bit-identical (counts, per-rank
+   virtual clocks, results) to their reference paths. Exact
+   comparisons; nothing to tolerate.
 
 Writes a ``bench_regress/v1`` report to ``benchmarks/results/`` and
 exits nonzero on any violation. Run from the repo root::
@@ -334,6 +335,89 @@ def regress_fastpath(smoke: bool, checks: list) -> dict:
     }
 
 
+def regress_record(smoke: bool, checks: list) -> dict:
+    """Exact gate on the run-ledger ``record=`` hook: ``record=None``
+    (the default) and a live :class:`~repro.observatory.RunRecorder`
+    must produce bit-identical counts AND per-rank virtual clocks —
+    the hook only reads the finished report after the join, so there
+    is nothing to tolerate. Also asserts the recorded counts equal the
+    live report's signature (the ledger stores what actually ran)."""
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.algorithms.cannon import cannon_matmul
+    from repro.analysis.validation import default_machine
+    from repro.observatory import Ledger, RunRecorder
+    from repro.simmpi import run_spmd
+
+    import numpy as np
+
+    n = 16 if smoke else 32
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    machine = default_machine()
+    base = run_spmd(4, cannon_matmul, a, b, machine=machine)
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger = Ledger(_Path(tmp) / "ledger.jsonl")
+        recorder = RunRecorder(ledger, workload="cannon", params={"n": n})
+        hooked = run_spmd(
+            4, cannon_matmul, a, b, machine=machine, record=recorder
+        )
+        counts_identical = (
+            base.report.counts_signature() == hooked.report.counts_signature()
+        )
+        vtimes_identical = tuple(r.vtime for r in base.report.ranks) == tuple(
+            r.vtime for r in hooked.report.ranks
+        )
+        recorded = ledger.records()
+        record_faithful = (
+            len(recorded) == 1
+            and recorded[0].counts_signature()
+            == hooked.report.counts_signature()
+        )
+    _check(
+        checks,
+        "record:counts_identical(disabled-path)",
+        counts_identical,
+        "record=None counts match RunRecorder counts",
+    )
+    _check(
+        checks,
+        "record:vtimes_identical(disabled-path)",
+        vtimes_identical,
+        "record=None virtual clocks match RunRecorder clocks",
+    )
+    _check(
+        checks,
+        "record:ledger_faithful",
+        record_faithful,
+        "ledger round-trips the exact counts signature",
+    )
+    return {
+        "counts_identical": counts_identical,
+        "vtimes_identical": vtimes_identical,
+        "ledger_faithful": record_faithful,
+    }
+
+
+def append_to_ledger(report: dict, ledger_path: Path) -> None:
+    """Append the gate outcome to the observatory run ledger."""
+    from repro.observatory import Ledger, RunRecord
+
+    Ledger(ledger_path).append(
+        RunRecord.bench(
+            workload="bench_regress",
+            params={"smoke": report["smoke"]},
+            extra={
+                "ok": report["ok"],
+                "failed": [c["name"] for c in report["checks"] if not c["ok"]],
+            },
+            label="bench regression gate",
+        )
+    )
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
@@ -369,6 +453,8 @@ def main(argv=None) -> int:
         fresh["faults_disabled_path"] = regress_faults(args.smoke, checks)
         print("\n== collective fast path (exact equivalence) ==")
         fresh["fastpath_equivalence"] = regress_fastpath(args.smoke, checks)
+        print("\n== run-ledger record hook (disabled path) ==")
+        fresh["record_disabled_path"] = regress_record(args.smoke, checks)
 
     ok = all(c["ok"] for c in checks)
     report = {
@@ -380,6 +466,7 @@ def main(argv=None) -> int:
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
+    append_to_ledger(report, RESULTS_DIR / "ledger.jsonl")
     failed = sum(1 for c in checks if not c["ok"])
     print(
         f"\n{len(checks)} checks, {failed} failed — report at {args.output}"

@@ -16,8 +16,11 @@ binomial tree moves the payload p-1 times per round). The full grid
 runs at p ∈ {16, 64, 256}; the fast path additionally unlocks
 p ∈ {1024, 4096}, where only the pooled configurations are timed (the
 seed ``spawn+copy`` configuration is impractical there — which is the
-point). Emits a machine-readable ``BENCH_simmpi.json`` so the perf
-trajectory is tracked PR over PR. Reported speedups:
+point). Emits a machine-readable ``BENCH_simmpi.json`` and appends a
+``kind="bench"`` headline record to the run ledger
+(``benchmarks/results/ledger.jsonl``, gitignored) so the perf
+trajectory is tracked PR over PR and plotted by ``repro observe
+report``. Reported speedups:
 
 * ``speedup`` — seed ``spawn+copy`` over ``pool+cow``, both on the
   message path (the historical headline, gated by bench_regress);
@@ -181,6 +184,31 @@ def run_benchmark(
     }
 
 
+def append_to_ledger(report: dict, ledger_path: Path) -> None:
+    """Append the benchmark headline to the observatory run ledger."""
+    from repro.observatory import Ledger, RunRecord
+
+    extra = {
+        "speedup": report["speedup"],
+        "fastpath_speedup": report["fastpath_speedup"],
+        "speedup_vs_seed": report["speedup_vs_seed"],
+        "counts_identical": report["counts_identical"],
+        "best_s": {
+            f"p{r['p']}:{r['executor']}+{r['payload_mode']}"
+            + ("+fast" if r["fastpath"] else ""): r["best_s"]
+            for r in report["results"]
+        },
+    }
+    Ledger(ledger_path).append(
+        RunRecord.bench(
+            workload="bench_simmpi_perf",
+            params=dict(report["workload"], repeats=report["repeats"]),
+            extra=extra,
+            label="simmpi substrate wall-clock grid",
+        )
+    )
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--words", type=int, default=1 << 16,
@@ -202,6 +230,14 @@ def main(argv=None) -> int:
         default=Path(__file__).resolve().parent / "results" / "BENCH_simmpi.json",
         help="where to write the JSON report (default benchmarks/results/)",
     )
+    ap.add_argument(
+        "--ledger", type=Path,
+        default=Path(__file__).resolve().parent / "results" / "ledger.jsonl",
+        help="observatory run ledger to append the headline record to "
+        "(default benchmarks/results/ledger.jsonl; --no-ledger to skip)",
+    )
+    ap.add_argument("--no-ledger", action="store_true",
+                    help="skip the run-ledger append")
     args = ap.parse_args(argv)
     if args.words < 1 or args.rounds < 1 or args.repeats < 1:
         ap.error("--words, --rounds and --repeats must all be >= 1")
@@ -219,6 +255,9 @@ def main(argv=None) -> int:
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
+    if not args.no_ledger:
+        append_to_ledger(report, args.ledger)
+        print(f"appended headline record to {args.ledger}")
     if not report["counts_identical"]:
         return 1
     return 0

@@ -29,9 +29,37 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 
-__all__ = ["line_plot", "region_plot", "gantt_chart", "stacked_bars"]
+__all__ = ["line_plot", "region_plot", "gantt_chart", "stacked_bars", "sparkline"]
 
 _GLYPHS = "*o+x#@%&"
+
+_SPARK_LEVELS = " .:-=+*#@"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None, hi: float | None = None) -> str:
+    """One-character-per-value trend strip, e.g. ``..:=+#@``.
+
+    Values map linearly onto nine density glyphs between ``lo`` and
+    ``hi`` (defaulting to the series' own min/max, so a flat series
+    renders as a flat strip). NaNs render as ``?``. Used by the
+    observatory dashboard to show ledger trajectories in one line.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ParameterError("sparkline needs at least one value")
+    finite = [v for v in vals if math.isfinite(v)]
+    low = min(finite) if lo is None and finite else (lo if lo is not None else 0.0)
+    high = max(finite) if hi is None and finite else (hi if hi is not None else 1.0)
+    span = high - low
+    top = len(_SPARK_LEVELS) - 1
+    out = []
+    for v in vals:
+        if not math.isfinite(v):
+            out.append("?")
+            continue
+        frac = 0.5 if span <= 0 else (v - low) / span
+        out.append(_SPARK_LEVELS[max(0, min(top, round(frac * top)))])
+    return "".join(out)
 
 
 def _scale(values: np.ndarray, log: bool) -> np.ndarray:

@@ -245,6 +245,35 @@ class ModelProfile:
         """Eq. (1) seconds per term for one rank's counts."""
         return _time_terms(self.report.rank_time(self.machine, rank))
 
+    @property
+    def time_vector(self) -> tuple[float, float, float]:
+        """The critical rank's (F, W, S) — the counts row whose dot
+        product with (gamma_t, beta_t, alpha_t) is Eq. (1)'s T. This is
+        the regression row the observatory's
+        :func:`repro.observatory.fit.fit_time` inverts."""
+        c = self.report.ranks[self.critical_rank]
+        return (
+            float(c.flops),
+            float(c.words_sent),
+            float(c.messages_sent),
+        )
+
+    @property
+    def energy_vector(self) -> tuple[float, float, float, float, float]:
+        """The run's (F_tot, W_tot, S_tot, p*M*T, p*T) — the counts row
+        whose dot product with (gamma_e, beta_e, alpha_e, delta_e,
+        eps_e) is Eq. (2)'s E. Regression row for
+        :func:`repro.observatory.fit.fit_energy`."""
+        r = self.report
+        T = self.time.total
+        return (
+            float(r.total_flops),
+            float(r.total_words),
+            float(r.total_messages),
+            self.size * self.memory_words * T,
+            self.size * T,
+        )
+
     # -- recovery attribution (fault-injected runs) ----------------------
 
     @property

@@ -221,9 +221,12 @@ def _cmd_questions(_args) -> None:
     print(f"[5] best efficiency = {opt.gflops_per_watt_optimal():.4f} GFLOPS/W")
 
 
-# -- traced workloads ------------------------------------------------------
+# -- scenario registry -----------------------------------------------------
 
-#: workload -> (default p, default n, p/n constraint text for --help)
+#: workload -> (default p, default n, p/n constraint text for --help).
+#: The single scenario registry shared by ``trace``, ``profile``,
+#: ``faults`` and ``observe`` — both for argparse choices and for
+#: :func:`resolve_scenario` lookups.
 TRACE_WORKLOADS = {
     "matmul25d": (8, 16, "p = q^2 c with c | q (e.g. 4, 8, 32); q | n"),
     "cannon": (4, 16, "p a perfect square; sqrt(p) | n"),
@@ -232,6 +235,32 @@ TRACE_WORKLOADS = {
     "nbody": (4, 64, "p | n"),
     "fft": (4, 1024, "p and n powers of two with p^2 | n"),
 }
+
+#: Scenarios with a replica-recovery variant ``repro faults`` can crash.
+FAULT_SCENARIOS = ("matmul25d",)
+
+
+def resolve_scenario(
+    name: str, command: str = "repro", faults: bool = False
+) -> tuple[int, int, str]:
+    """Look up one scenario, or exit nonzero listing the valid names.
+
+    The one gate every subcommand funnels scenario names through: an
+    unknown name never reaches a traceback — it becomes a
+    ``SystemExit`` naming the registry (and the fault-capable subset
+    when ``faults=True``).
+    """
+    if faults and name not in FAULT_SCENARIOS:
+        raise SystemExit(
+            f"{command}: scenario {name!r} has no fault-recovery variant; "
+            f"valid scenarios: {', '.join(FAULT_SCENARIOS)}"
+        )
+    if name not in TRACE_WORKLOADS:
+        raise SystemExit(
+            f"{command}: unknown scenario {name!r}; valid scenarios: "
+            f"{', '.join(sorted(TRACE_WORKLOADS))}"
+        )
+    return TRACE_WORKLOADS[name]
 
 
 def _pick_25d_c(p: int) -> int:
@@ -291,7 +320,8 @@ def _build_trace_program(workload: str, p: int, n: int):
 
         x = rng.standard_normal(n)
         return fft_parallel, (x,), f"fft(n={n})"
-    raise AssertionError(f"unknown workload {workload!r}")  # argparse guards
+    resolve_scenario(workload)  # exits listing valid scenarios
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def _cmd_trace(args) -> None:
@@ -301,7 +331,7 @@ def _cmd_trace(args) -> None:
     from repro.exceptions import ReproError
     from repro.simmpi import run_spmd
 
-    spec = TRACE_WORKLOADS[args.workload]
+    spec = resolve_scenario(args.workload, "repro trace")
     p = spec[0] if args.p is None else args.p
     n = spec[1] if args.n is None else args.n
     try:
@@ -398,7 +428,7 @@ def _cmd_profile(args) -> None:
             else:
                 print(render_term_sweep(profiles))
             return
-        spec = TRACE_WORKLOADS[args.workload]
+        spec = resolve_scenario(args.workload, "repro profile")
         p = spec[0] if args.p is None else args.p
         n = spec[1] if args.n is None else args.n
         program, prog_args, label = _build_trace_program(args.workload, p, n)
@@ -441,6 +471,7 @@ def _cmd_faults(args) -> None:
     from repro.simmpi import FaultPlan, run_spmd
 
     machine = default_machine()
+    resolve_scenario(args.workload, "repro faults", faults=True)
     try:
         p, n, c = args.p, args.n, args.c
         q = grid_for_25d(p, c)
@@ -493,6 +524,154 @@ def _cmd_faults(args) -> None:
             )
     except ReproError as exc:
         raise SystemExit(f"repro faults: {exc}") from exc
+
+
+# -- scaling observatory ---------------------------------------------------
+
+#: Default ledger location (gitignored alongside the benchmark results).
+DEFAULT_LEDGER = "benchmarks/results/ledger.jsonl"
+
+#: The canonical fixed-tile 2.5D smoke sweep ``observe check`` records:
+#: q = 6, c = 1, 2, 3 — the same walk the integration tests and the
+#: drift tolerance table are calibrated on.
+SMOKE_SWEEP_Q = 6
+SMOKE_SWEEP_C = (1, 2, 3)
+
+
+def _observe_record_sweep(ledger, n: int) -> None:
+    """Record the canonical fixed-tile matmul25d p-sweep into ``ledger``."""
+    from repro.algorithms.matmul25d import matmul_25d
+    from repro.analysis.validation import default_machine
+    from repro.observatory import RunRecorder
+    from repro.simmpi.pool import shared_pool
+
+    q = SMOKE_SWEEP_Q
+    if n % q:
+        raise SystemExit(f"repro observe: n={n} must be divisible by q={q}")
+    machine = default_machine()
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    tile_words = 3 * (n // q) ** 2
+    for c in SMOKE_SWEEP_C:
+        p = q * q * c
+        recorder = RunRecorder(
+            ledger=ledger,
+            workload="matmul25d",
+            params={"n": n, "q": q, "c": c},
+            label=f"matmul25d(n={n}, c={c})",
+            memory_words=tile_words,
+        )
+        shared_pool().run(p, matmul_25d, a, b, c, machine=machine, record=recorder)
+
+
+def _parse_inflate(spec: str) -> tuple[str, float]:
+    term, sep, factor = spec.partition("=")
+    if not sep:
+        raise SystemExit(
+            "repro observe: --inflate wants TERM=FACTOR (e.g. T:alphaS=2)"
+        )
+    try:
+        return term, float(factor)
+    except ValueError:
+        raise SystemExit(
+            f"repro observe: --inflate factor {factor!r} is not a number"
+        ) from None
+
+
+def _cmd_observe(args) -> None:
+    import json
+
+    from repro.exceptions import ReproError
+    from repro.observatory import Ledger
+
+    ledger = Ledger(args.ledger)
+    try:
+        if args.action == "record":
+            from repro.analysis.validation import default_machine
+            from repro.observatory import RunRecorder
+            from repro.simmpi import run_spmd
+
+            spec = resolve_scenario(args.workload, "repro observe")
+            p = spec[0] if args.p is None else args.p
+            n = spec[1] if args.n is None else args.n
+            program, prog_args, label = _build_trace_program(args.workload, p, n)
+            params = {"n": n}
+            if args.workload == "matmul25d":
+                import math
+
+                c = _pick_25d_c(p)
+                params["c"] = c
+                params["q"] = math.isqrt(p // c)
+            recorder = RunRecorder(
+                ledger=ledger,
+                workload=args.workload,
+                params=params,
+                label=label,
+            )
+            run_spmd(
+                p, program, *prog_args, machine=default_machine(), record=recorder
+            )
+            rec = recorder.last_record
+            print(
+                f"recorded {label} on p={p} -> {ledger.path} "
+                f"(T={rec.time_total:.6g} s, E={rec.energy_total:.6g} J, "
+                f"wall={rec.wall_seconds:.4g} s)"
+            )
+        elif args.action == "report":
+            from repro.observatory.dashboard import render_html, render_report
+
+            if args.html:
+                with open(args.html, "w", encoding="utf-8") as fh:
+                    fh.write(render_html(ledger))
+                print(f"wrote {args.html}")
+            else:
+                print(render_report(ledger))
+        elif args.action == "fit":
+            from repro.observatory import fit_records
+
+            fit = fit_records(ledger)
+            if args.json:
+                print(json.dumps(fit.to_json(), indent=2))
+            else:
+                print(fit.render())
+        elif args.action == "check":
+            from repro.observatory import check_sweep, inflate_term
+            from repro.observatory.dashboard import sweep_groups
+
+            if args.run_sweep or not ledger.query(
+                workload=args.workload, kind="run"
+            ):
+                _observe_record_sweep(ledger, args.n if args.n else 48)
+            records = ledger.query(workload=args.workload, kind="run")
+            if not records:
+                raise SystemExit(
+                    f"repro observe: no {args.workload!r} run records in "
+                    f"{ledger.path}"
+                )
+            # Check the sweep the newest record belongs to.
+            groups = sweep_groups(records)
+            latest = records[-1]
+            sweep = next(
+                recs
+                for key, recs in groups
+                if any(r.created_at == latest.created_at for r in recs)
+            )
+            if args.inflate:
+                term, factor = _parse_inflate(args.inflate)
+                sweep = inflate_term(sweep, term, factor)
+                print(f"(demo: {term} inflated {factor:g}x on post-baseline points)")
+            verdict = check_sweep(sweep)
+            if args.json:
+                print(json.dumps(verdict.to_json(), indent=2))
+            else:
+                print(verdict.render())
+            if verdict.classification != "perfect":
+                raise SystemExit(2 if verdict.classification == "degraded" else 1)
+        else:  # pragma: no cover - argparse guards
+            raise AssertionError(args.action)
+    except ReproError as exc:
+        raise SystemExit(f"repro observe: {exc}") from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -602,6 +781,10 @@ def build_parser() -> argparse.ArgumentParser:
             "terms. Needs c >= 2 (at c = 1 there is nothing to recover from)."
         ),
     )
+    pf.add_argument(
+        "workload", nargs="?", default="matmul25d",
+        help="scenario to crash (fault-capable: %s)" % ", ".join(FAULT_SCENARIOS),
+    )
     pf.add_argument("--p", type=int, default=8, help="rank count (q^2 c)")
     pf.add_argument("--n", type=int, default=16, help="matrix order (q | n)")
     pf.add_argument("--c", type=int, default=2, help="replication factor (>= 2)")
@@ -619,6 +802,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a machine-readable JSON report instead of the text views",
     )
     pf.set_defaults(fn=_cmd_faults)
+    po = sub.add_parser(
+        "observe",
+        help="scaling observatory: run ledger, model fit, drift check",
+        description=(
+            "The persistent face of the simulator: record runs into an "
+            "append-only JSONL ledger, invert Eq. (1)/(2) to recover the "
+            "machine constants from recorded counts, classify p-sweeps as "
+            "perfect/degraded/broken, and render an ASCII or self-contained "
+            "HTML dashboard over the history."
+        ),
+        epilog=(
+            "actions:\n"
+            "  record   run one scenario with record= and append it\n"
+            "  report   ASCII dashboard (or --html OUT for the HTML one)\n"
+            "  fit      least-squares recovery of the machine constants\n"
+            "  check    classify the latest p-sweep (records the canonical\n"
+            "           q=6, c=1,2,3 smoke sweep when the ledger is empty);\n"
+            "           exits 2 when degraded, 1 when broken\n"
+            "workloads:\n" + workload_lines
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    po.add_argument("action", choices=("record", "report", "fit", "check"))
+    po.add_argument(
+        "workload", nargs="?", default="matmul25d",
+        help="scenario for record/check (default matmul25d)",
+    )
+    po.add_argument(
+        "--ledger", default=DEFAULT_LEDGER, metavar="JSONL",
+        help=f"ledger path (default {DEFAULT_LEDGER})",
+    )
+    po.add_argument("--p", type=int, default=None, help="rank count (record)")
+    po.add_argument(
+        "--n", type=int, default=None,
+        help="problem size (record; check sweep uses n=48)",
+    )
+    po.add_argument(
+        "--run-sweep", action="store_true",
+        help="check: always record a fresh smoke sweep first",
+    )
+    po.add_argument(
+        "--inflate", default=None, metavar="TERM=FACTOR",
+        help="check: demo drift by inflating one term (e.g. T:alphaS=2) "
+        "on every post-baseline point before classifying",
+    )
+    po.add_argument(
+        "--html", default=None, metavar="OUT_HTML",
+        help="report: write the self-contained HTML dashboard here",
+    )
+    po.add_argument(
+        "--json", action="store_true",
+        help="fit/check: emit machine-readable JSON instead of text",
+    )
+    po.set_defaults(fn=_cmd_observe)
     return parser
 
 

@@ -15,13 +15,20 @@ import math
 
 from repro.metrics.registry import Histogram, MetricsRegistry
 
-__all__ = ["to_prometheus", "to_json_dict", "to_json"]
+__all__ = ["to_prometheus", "to_json_dict", "to_json", "to_record_snapshot"]
 
 SCHEMA = "repro_metrics/v1"
 
 
 def _escape(value: str) -> str:
+    """Escape a label *value*: backslash, double quote, newline."""
     return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _escape_help(value: str) -> str:
+    """Escape HELP text: only backslash and newline — the format leaves
+    double quotes alone outside label values."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _labelset(labels: tuple[tuple[str, str], ...], extra: tuple[tuple[str, str], ...] = ()):
@@ -37,6 +44,8 @@ def _format_value(v: float) -> str:
         return "+Inf"
     if v == -math.inf:
         return "-Inf"
+    if math.isnan(v):
+        return "NaN"
     if float(v).is_integer() and abs(v) < 1e15:
         return str(int(v))
     return repr(float(v))
@@ -54,7 +63,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
         if inst.name not in seen_headers:
             seen_headers.add(inst.name)
             if inst.help:
-                lines.append(f"# HELP {inst.name} {_escape(inst.help)}")
+                lines.append(f"# HELP {inst.name} {_escape_help(inst.help)}")
             lines.append(f"# TYPE {inst.name} {inst.kind}")
         if isinstance(inst, Histogram):
             cumulative = inst.cumulative()
@@ -97,3 +106,26 @@ def to_json_dict(registry: MetricsRegistry) -> dict:
 def to_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
     """``to_json_dict`` rendered as a JSON string."""
     return json.dumps(to_json_dict(registry), indent=indent)
+
+
+def to_record_snapshot(registry: MetricsRegistry) -> dict:
+    """A compact summary of the registry for run-ledger embedding.
+
+    The full :func:`to_json_dict` dump of a metered run carries every
+    per-rank histogram bucket — hundreds of numbers per record line.
+    A ledger wants the headline shape, not the raw exposition: scalar
+    instruments keep their value; histograms collapse to
+    ``{sum, count}``. Keys are ``name`` or ``name{k=v,...}`` with the
+    labels sorted, matching the Prometheus identity of each series.
+    """
+    snapshot: dict[str, object] = {}
+    for inst in registry.metrics():
+        labels = ",".join(
+            f'{k}="{_escape(v)}"' for k, v in sorted(inst.labels)
+        )
+        key = f"{inst.name}{{{labels}}}" if labels else inst.name
+        if isinstance(inst, Histogram):
+            snapshot[key] = {"sum": inst.sum, "count": inst.count}
+        else:
+            snapshot[key] = inst.value
+    return snapshot

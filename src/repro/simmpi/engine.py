@@ -71,6 +71,7 @@ def _finalize(
     results: list[Any],
     failures: dict[int, BaseException],
     crashes: dict[int, BaseException] | None = None,
+    wall_seconds: float = 0.0,
 ) -> SpmdResult:
     """Convert joined-run state into an SpmdResult or RankFailedError.
 
@@ -101,13 +102,20 @@ def _finalize(
         from repro.metrics.runtime import collect_run_metrics
 
         metrics = collect_run_metrics(world)
-    return SpmdResult(
+    result = SpmdResult(
         results=tuple(results),
         report=report,
         event_logs=world.event_logs,
         metrics=metrics,
         crashed=tuple(sorted(crashes)),
     )
+    if world.record is not None:
+        # Ledger hook: runs strictly after the join, on the already-built
+        # result — it can never perturb counts or virtual clocks.
+        from repro.observatory.ledger import emit_run
+
+        emit_run(world.record, world, result, wall_seconds)
+    return result
 
 
 def run_spmd(
@@ -124,6 +132,7 @@ def run_spmd(
     metrics: bool = False,
     faults: Any = None,
     fastpath: bool = True,
+    record: Any = None,
     **kwargs: Any,
 ) -> SpmdResult:
     """Run ``program(comm, *args, **kwargs)`` on ``size`` simulated ranks.
@@ -188,6 +197,15 @@ def run_spmd(
         counts, virtual clocks and payloads at a fraction of the
         wall-clock cost (see :mod:`repro.simmpi.fastpath`). Pass False
         to force the faithful message path everywhere.
+    record:
+        Optional run-ledger hook (a
+        :class:`~repro.observatory.ledger.RunRecorder`, a bare
+        :class:`~repro.observatory.ledger.Ledger`, or a callable
+        receiving the built :class:`~repro.observatory.ledger.RunRecord`).
+        Invoked once after a *successful* join with the finished result
+        and the run's wall-clock seconds; counts and per-rank virtual
+        clocks are bit-identical with the hook on or off (the hook runs
+        strictly post-join).
 
     Raises
     ------
@@ -209,7 +227,9 @@ def run_spmd(
         metrics=metrics,
         faults=faults,
         fastpath=fastpath,
+        record=record,
     )
+    wall_start = _monotonic()
     results: list[Any] = [None] * size
     failures: dict[int, BaseException] = {}
     crashes: dict[int, BaseException] = {}
@@ -257,4 +277,6 @@ def run_spmd(
             "the SPMD program"
         )
 
-    return _finalize(world, results, failures, crashes)
+    return _finalize(
+        world, results, failures, crashes, wall_seconds=_monotonic() - wall_start
+    )

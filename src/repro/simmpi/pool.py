@@ -202,6 +202,7 @@ class SpmdPool:
         metrics: bool = False,
         faults: Any = None,
         fastpath: bool = True,
+        record: Any = None,
         **kwargs: Any,
     ) -> SpmdResult:
         """Run ``program(comm, *args, **kwargs)`` on ``size`` pooled ranks.
@@ -209,8 +210,9 @@ class SpmdPool:
         Drop-in equivalent of :func:`~repro.simmpi.engine.run_spmd` —
         identical signature, results, trace counts, and failure
         behavior (including ``trace=``/``trace_capacity=`` event
-        tracing, ``metrics=`` run metrics, ``faults=`` injection and
-        the ``fastpath=`` analytic-collective toggle) —
+        tracing, ``metrics=`` run metrics, ``faults=`` injection, the
+        ``fastpath=`` analytic-collective toggle and the ``record=``
+        run-ledger hook) —
         minus the per-call thread spawn/join. Like ``run_spmd``'s join
         watchdog, a rank wedged outside a receive raises
         :class:`~repro.exceptions.DeadlockError` naming the stuck ranks
@@ -229,7 +231,9 @@ class SpmdPool:
             metrics=metrics,
             faults=faults,
             fastpath=fastpath,
+            record=record,
         )
+        wall_start = time.monotonic()
         results: list[Any] = [None] * size
         failures: dict[int, BaseException] = {}
         crashes: dict[int, BaseException] = {}
@@ -267,7 +271,13 @@ class SpmdPool:
                     "SPMD program (wedged pool workers were replaced)"
                 )
 
-        return _finalize(world, results, failures, crashes)
+        return _finalize(
+            world,
+            results,
+            failures,
+            crashes,
+            wall_seconds=time.monotonic() - wall_start,
+        )
 
     def _replace_workers(self, indices: list[int]) -> None:
         """Stand up fresh workers at ``indices``, abandoning the wedged

@@ -3,8 +3,43 @@
 import numpy as np
 import pytest
 
-from repro.analysis.asciiplot import line_plot, region_plot, stacked_bars
+from repro.analysis.asciiplot import (
+    line_plot,
+    region_plot,
+    sparkline,
+    stacked_bars,
+)
 from repro.exceptions import ParameterError
+
+
+class TestSparkline:
+    def test_monotone_series_is_nondecreasing_glyphs(self):
+        from repro.analysis.asciiplot import _SPARK_LEVELS
+
+        out = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(out) == 4
+        ranks = [_SPARK_LEVELS.index(ch) for ch in out]
+        assert ranks == sorted(ranks)
+        assert out[0] == _SPARK_LEVELS[0] and out[-1] == _SPARK_LEVELS[-1]
+
+    def test_flat_series_is_flat(self):
+        out = sparkline([5.0] * 6)
+        assert len(set(out)) == 1
+
+    def test_nan_renders_as_question_mark(self):
+        out = sparkline([1.0, float("nan"), 2.0])
+        assert out[1] == "?"
+
+    def test_explicit_bounds(self):
+        from repro.analysis.asciiplot import _SPARK_LEVELS
+
+        out = sparkline([0.0, 10.0], lo=0.0, hi=20.0)
+        assert out[0] == _SPARK_LEVELS[0]
+        assert out[1] not in (_SPARK_LEVELS[0], _SPARK_LEVELS[-1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            sparkline([])
 
 
 class TestLinePlot:

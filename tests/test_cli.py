@@ -24,6 +24,7 @@ class TestParser:
             "trace",
             "profile",
             "faults",
+            "observe",
         }
 
     def test_requires_command(self):
@@ -201,3 +202,104 @@ class TestProfileCommand:
         with pytest.raises(SystemExit) as exc:
             main(["profile", "matmul25d", "--p", "5"])
         assert "q^2 c" in str(exc.value)
+
+
+class TestScenarioRegistry:
+    """Unknown scenario names exit nonzero listing the valid set —
+    through the one shared resolve_scenario helper."""
+
+    def test_faults_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["faults", "nosuch"])
+        msg = str(exc.value)
+        assert "matmul25d" in msg and "nosuch" in msg
+
+    def test_faults_rejects_known_but_fault_incapable(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["faults", "fft"])
+        assert "no fault-recovery variant" in str(exc.value)
+
+    def test_observe_rejects_unknown_scenario(self, tmp_path):
+        ledger = str(tmp_path / "ledger.jsonl")
+        with pytest.raises(SystemExit) as exc:
+            main(["observe", "record", "nosuch", "--ledger", ledger])
+        msg = str(exc.value)
+        assert "valid scenarios" in msg
+        for name in ("cannon", "fft", "matmul25d", "nbody"):
+            assert name in msg
+
+    def test_resolve_scenario_returns_registry_row(self):
+        from repro.cli import TRACE_WORKLOADS, resolve_scenario
+
+        assert resolve_scenario("fft") == TRACE_WORKLOADS["fft"]
+
+
+class TestObserveCommand:
+    def test_record_then_fit_and_report(self, capsys, tmp_path):
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert main(
+            ["observe", "record", "cannon", "--ledger", ledger]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recorded cannon" in out and ledger in out
+        assert main(["observe", "fit", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "gamma_t" in out and "model fit over 1 records" in out
+        assert main(["observe", "report", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "scaling observatory" in out and "cannon" in out
+
+    def test_report_html(self, capsys, tmp_path):
+        ledger = str(tmp_path / "ledger.jsonl")
+        html_out = tmp_path / "dash.html"
+        assert main(["observe", "record", "fft", "--ledger", ledger]) == 0
+        capsys.readouterr()
+        assert main(
+            ["observe", "report", "--ledger", ledger, "--html", str(html_out)]
+        ) == 0
+        html = html_out.read_text()
+        assert html.startswith("<!DOCTYPE html>") and "fft" in html
+
+    def test_check_smoke_sweep_is_perfect(self, capsys, tmp_path):
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert main(["observe", "check", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "PERFECT" in out
+        assert "p=[36, 72, 108]" in out
+
+    def test_check_inflated_sweep_degrades_and_exits_nonzero(
+        self, capsys, tmp_path
+    ):
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert main(["observe", "check", "--ledger", ledger]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "observe",
+                    "check",
+                    "--ledger",
+                    ledger,
+                    "--inflate",
+                    "T:alphaS=2",
+                ]
+            )
+        assert exc.value.code == 2
+        assert "DEGRADED" in capsys.readouterr().out
+
+    def test_check_json_mode(self, capsys, tmp_path):
+        import json
+
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert main(["observe", "check", "--ledger", ledger, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro_drift/v1"
+        assert payload["classification"] == "perfect"
+
+    def test_inflate_rejects_malformed_spec(self, tmp_path):
+        ledger = str(tmp_path / "ledger.jsonl")
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["observe", "check", "--ledger", ledger, "--inflate", "bogus"]
+            )
+        assert "TERM=FACTOR" in str(exc.value)

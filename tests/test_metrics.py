@@ -305,3 +305,51 @@ class TestExport:
         text = to_prometheus(out.metrics)
         assert "simmpi_sent_words_total" in text
         json.dumps(to_json_dict(out.metrics))
+
+    def test_prometheus_escapes_help_text(self):
+        # HELP text escapes only backslash and newline (the text-format
+        # spec) — double quotes stay literal, unlike label values.
+        reg = MetricsRegistry()
+        reg.counter("x_total", help='multi\nline "quoted" \\ tail').inc()
+        text = to_prometheus(reg)
+        assert '# HELP x_total multi\\nline "quoted" \\\\ tail' in text
+        assert "\nline" not in text.split("# HELP", 1)[1].splitlines()[0]
+
+    def test_prometheus_nan_renders_as_NaN(self):
+        reg = MetricsRegistry()
+        reg.gauge("ratio").set(float("nan"))
+        text = to_prometheus(reg)
+        assert "ratio NaN" in text
+
+    def test_prometheus_help_type_precede_samples(self, registry):
+        lines = to_prometheus(registry).splitlines()
+        for name in ("x_total", "depth", "words"):
+            help_i = lines.index(
+                next(x for x in lines if x.startswith(f"# HELP {name}"))
+            )
+            type_i = lines.index(
+                next(x for x in lines if x.startswith(f"# TYPE {name}"))
+            )
+            sample_i = min(
+                i
+                for i, x in enumerate(lines)
+                if x.startswith(name) and not x.startswith("#")
+            )
+            assert help_i < type_i < sample_i
+
+    def test_record_snapshot_shape(self, registry):
+        from repro.metrics.export import to_record_snapshot
+
+        snap = to_record_snapshot(registry)
+        assert snap['x_total{kind="a"}'] == 2.0
+        assert snap["depth"] == 1.5
+        assert snap["words"] == {"sum": 9.5, "count": 2}
+        json.dumps(snap)  # must be JSON-serializable as-is
+
+    def test_record_snapshot_sorts_labels(self):
+        from repro.metrics.export import to_record_snapshot
+
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels={"b": "2", "a": "1"}).inc(3.0)
+        snap = to_record_snapshot(reg)
+        assert list(snap) == ['x_total{a="1",b="2"}']
