@@ -1,10 +1,11 @@
 """Benchmark regression gate: fresh numbers vs the committed baselines.
 
-The repo commits three performance baselines at its root —
+The repo commits four performance baselines at its root —
 ``BENCH_simmpi.json`` (pool+cow speedup over spawn+copy),
-``BENCH_trace_overhead.json`` (traced/untraced wall-clock ratio) and
-``BENCH_metrics_overhead.json`` (metered/unmetered ratio). This script
-is the PR gate over them:
+``BENCH_trace_overhead.json`` (traced/untraced wall-clock ratio),
+``BENCH_metrics_overhead.json`` (metered/unmetered ratio) and
+``BENCH_power_overhead.json`` (power-analysis/run wall-clock ratio).
+This script is the PR gate over them:
 
 1. **Structural checks** — each baseline exists, parses, carries its
    expected ``schema`` tag, and recorded the correctness flags
@@ -58,6 +59,10 @@ BASELINES = {
         "schema": "bench_metrics_overhead/v1",
         "flags": ("counts_identical", "vtimes_identical"),
     },
+    "BENCH_power_overhead.json": {
+        "schema": "bench_power_overhead/v1",
+        "flags": ("counts_identical", "vtimes_identical"),
+    },
 }
 
 #: Per-metric tolerance table (see the module docstring for rationale).
@@ -70,6 +75,7 @@ TOLERANCES = {
     "simmpi_speedup": {"floor_abs": 1.2, "floor_frac": 0.12},
     "trace_overhead_ratio": {"ceil_abs": 2.5, "ceil_frac": 2.5},
     "metrics_overhead_ratio": {"ceil_abs": 2.0, "ceil_frac": 2.5},
+    "power_analysis_ratio": {"ceil_abs": 2.0, "ceil_frac": 2.5},
 }
 
 
@@ -202,6 +208,39 @@ def regress_metrics(baseline: dict, smoke: bool, checks: list) -> dict:
     _check(
         checks,
         "metrics:overhead_ratio",
+        value <= ceil,
+        f"fresh={value:.2f}x ceil={ceil:.2f}x (baseline max: {ref:.2f}x)",
+    )
+    return fresh
+
+
+def regress_power(baseline: dict, smoke: bool, checks: list) -> dict:
+    import bench_power_overhead
+
+    cfg = (
+        {"sizes": (8,), "rounds": 40, "repeats": 2}
+        if smoke
+        else {"sizes": (8,), "rounds": 100, "repeats": 3}
+    )
+    fresh = bench_power_overhead.run_benchmark(**cfg)
+    _check(
+        checks,
+        "power:counts_identical(fresh)",
+        fresh["counts_identical"],
+        "counts match with power analysis on or off",
+    )
+    _check(
+        checks,
+        "power:vtimes_identical(fresh)",
+        fresh["vtimes_identical"],
+        "virtual clocks match with power analysis on or off",
+    )
+    ref = max(baseline["analysis_ratio"].values())
+    value = max(fresh["analysis_ratio"].values())
+    ceil = _ceil("power_analysis_ratio", ref)
+    _check(
+        checks,
+        "power:analysis_ratio",
         value <= ceil,
         f"fresh={value:.2f}x ceil={ceil:.2f}x (baseline max: {ref:.2f}x)",
     )
@@ -443,6 +482,7 @@ def main(argv=None) -> int:
             "BENCH_simmpi.json": regress_simmpi,
             "BENCH_trace_overhead.json": regress_trace,
             "BENCH_metrics_overhead.json": regress_metrics,
+            "BENCH_power_overhead.json": regress_power,
         }
         for fname, runner in runners.items():
             if fname not in baselines:

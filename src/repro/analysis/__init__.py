@@ -14,6 +14,7 @@ from repro.analysis.breakdown import (
     energy_breakdown_fractions,
 )
 from repro.analysis.frontier import CostModelFrontier, FrontierGrid, NBodyFrontier
+from repro.analysis.powertrace import PowerTrace, catalog_power_caps
 from repro.analysis.report import generate_report
 from repro.analysis.timeline import CriticalPath, Timeline
 from repro.analysis.tables import (
@@ -65,4 +66,6 @@ __all__ = [
     "gantt_chart",
     "Timeline",
     "CriticalPath",
+    "PowerTrace",
+    "catalog_power_caps",
 ]

@@ -29,7 +29,14 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 
-__all__ = ["line_plot", "region_plot", "gantt_chart", "stacked_bars", "sparkline"]
+__all__ = [
+    "line_plot",
+    "region_plot",
+    "gantt_chart",
+    "stacked_bars",
+    "sparkline",
+    "step_plot",
+]
 
 _GLYPHS = "*o+x#@%&"
 
@@ -71,10 +78,23 @@ def _scale(values: np.ndarray, log: bool) -> np.ndarray:
 
 
 def _axis_ticks(lo: float, hi: float, log: bool, count: int = 4) -> list[str]:
+    """Tick labels for ``count`` evenly spaced axis positions.
+
+    Precision escalates until distinct tick values get distinct labels:
+    on a narrow range (say 1.0001 to 1.0002) every ``%.3g`` label
+    collapses to ``"1"``, which would caption different grid rows with
+    the same number. Equal values (a constant axis) keep sharing one
+    label by design.
+    """
     xs = np.linspace(lo, hi, count)
-    if log:
-        return [f"{10**x:.3g}" for x in xs]
-    return [f"{x:.3g}" for x in xs]
+    vals = [float(10**x) for x in xs] if log else [float(x) for x in xs]
+    distinct = len(set(vals))
+    labels = [f"{v:.3g}" for v in vals]
+    for digits in (6, 9, 12, 17):
+        if len(set(labels)) == distinct:
+            break
+        labels = [f"{v:.{digits}g}" for v in vals]
+    return labels
 
 
 def line_plot(
@@ -150,6 +170,84 @@ def line_plot(
         f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(series)
     )
     lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def step_plot(
+    breaks: Sequence[float],
+    levels: Sequence[float],
+    width: int = 64,
+    height: int = 12,
+    logy: bool = False,
+    title: str = "",
+    x_label: str = "t",
+    y_label: str = "",
+) -> str:
+    """Piecewise-constant series (e.g. a power envelope) as a step chart.
+
+    ``breaks`` are the ``len(levels) + 1`` interval endpoints of a
+    function that holds ``levels[i]`` on ``[breaks[i], breaks[i+1])``.
+    Each column marks the *maximum* level over the x-interval it covers,
+    so narrow peaks stay visible at any width — the property a
+    cap-violation reader needs. A zero-width interval renders as a
+    single point in the column containing its x.
+    """
+    if width < 8 or height < 4:
+        raise ParameterError("plot must be at least 8x4 characters")
+    b = np.asarray(breaks, dtype=float)
+    v = np.asarray(levels, dtype=float)
+    if v.size == 0:
+        raise ParameterError("need at least one segment")
+    if b.size != v.size + 1:
+        raise ParameterError(
+            f"need len(levels)+1 breakpoints, got {b.size} for {v.size} levels"
+        )
+    if not (np.all(np.isfinite(b)) and np.all(np.isfinite(v))):
+        raise ParameterError("breakpoints and levels must be finite")
+    if np.any(np.diff(b) < 0):
+        raise ParameterError("breakpoints must be nondecreasing")
+    t_lo, t_hi = float(b[0]), float(b[-1])
+    if t_hi == t_lo:
+        t_hi = t_lo + 1.0
+    sv = _scale(v, logy)
+    y_lo, y_hi = float(sv.min()), float(sv.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    edges = np.linspace(t_lo, t_hi, width + 1)
+    starts, ends = b[:-1], b[1:]
+    points = ends == starts
+    for c in range(width):
+        mask = (starts < edges[c + 1]) & (ends > edges[c])
+        in_col = (starts >= edges[c]) & (
+            (starts < edges[c + 1]) | (c == width - 1)
+        )
+        mask |= points & in_col
+        if not np.any(mask):
+            continue
+        level = float(sv[mask].max())
+        row = int(round((level - y_lo) / (y_hi - y_lo) * (height - 1)))
+        grid[height - 1 - row][c] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_ticks = _axis_ticks(y_lo, y_hi, logy, count=height)
+    for r, row in enumerate(grid):
+        label = y_ticks[height - 1 - r] if r in (0, height // 2, height - 1) else ""
+        lines.append(f"{label:>10s} |{''.join(row)}|")
+    lines.append(" " * 12 + "-" * width)
+    x_ticks = _axis_ticks(t_lo, t_hi, log=False, count=4)
+    buf = [" "] * (width + 12)
+    positions = np.linspace(0, width - len(x_ticks[-1]), len(x_ticks)).astype(int)
+    for pos, t in zip(positions, x_ticks):
+        for i, ch in enumerate(t):
+            if 12 + pos + i < len(buf):
+                buf[12 + pos + i] = ch
+    lines.append("".join(buf).rstrip() + f"   [{x_label}]")
+    if y_label:
+        lines.append(" " * 12 + f"(y = {y_label})")
     return "\n".join(lines)
 
 

@@ -159,9 +159,48 @@ class Timeline:
                 slot["count"] += 1
         return out
 
+    def utilization(self) -> dict[int, dict[str, float]]:
+        """Per-rank busy/stall/idle fractions of the simulated horizon.
+
+        ``busy`` is virtual time spent inside clock-advancing operations
+        (flop and send spans), ``stall`` is time receives spent waiting
+        on late senders, ``idle`` is the remainder up to
+        ``report.simulated_time`` (every rank shares the finishing
+        rank's horizon — a rank that ends early is idle until then).
+        Primary flop/send/recv events at *every* depth are summed:
+        collective-internal sends and stalls are attributed through the
+        events they actually execute rather than the enclosing depth-0
+        span, because the span's extent includes internal waits — the
+        distinction :class:`~repro.analysis.powertrace.PowerTrace` needs
+        to know which intervals draw baseline power only. Requires a
+        machine-modeled run.
+        """
+        horizon = self.report.simulated_time
+        if horizon <= 0.0:
+            raise ParameterError(
+                "utilization needs a machine-modeled run (all virtual "
+                "times are zero); pass machine= to run_spmd"
+            )
+        out: dict[int, dict[str, float]] = {}
+        for rank, log in enumerate(self.logs):
+            busy = stall = 0.0
+            for ev in log.events():
+                if ev.kind in ("flops", "send"):
+                    busy += ev.t1 - ev.t0
+                elif ev.stalled:
+                    stall += ev.t1 - ev.t0
+            idle = max(0.0, horizon - busy - stall)
+            out[rank] = {
+                "busy": busy / horizon,
+                "stall": stall / horizon,
+                "idle": idle / horizon,
+            }
+        return out
+
     def render_breakdown(self) -> str:
         """The :meth:`breakdown` as an aligned text table (seconds are
-        rank-summed busy/wait time, not wall-clock)."""
+        rank-summed busy/wait time, not wall-clock), followed by the
+        per-rank :meth:`utilization` digest on machine-modeled runs."""
         rows = sorted(self.breakdown().items(), key=lambda kv: -kv[1]["seconds"])
         if not rows:
             return "(no depth-0 events recorded)"
@@ -175,6 +214,14 @@ class Timeline:
                 f"{key:<{width}s} {agg['seconds']:>11.4g} {agg['flops']:>11.4g} "
                 f"{agg['words']:>11.4g} {agg['messages']:>8.4g} {agg['count']:>7.0f}"
             )
+        if self.report.simulated_time > 0.0:
+            lines.append("")
+            lines.append("utilization (busy / stall / idle of T_sim):")
+            for rank, u in self.utilization().items():
+                lines.append(
+                    f"  rank {rank:<4d} {u['busy']:6.1%} / {u['stall']:6.1%} "
+                    f"/ {u['idle']:6.1%}"
+                )
         return "\n".join(lines)
 
     # -- renderers -------------------------------------------------------
@@ -214,7 +261,7 @@ class Timeline:
 
     # -- Chrome/Perfetto export ------------------------------------------
 
-    def to_chrome_trace(self, flows: bool = True) -> dict:
+    def to_chrome_trace(self, flows: bool = True, power=None) -> dict:
         """The run as a Chrome trace-event object (JSON-serializable).
 
         One process (pid 0), one thread per rank (tid = world rank,
@@ -223,7 +270,10 @@ class Timeline:
         seconds x 1e6); alloc/release marks become ``ph: "i"`` instants.
         With ``flows=True`` each resolvable send->recv pair also emits a
         flow arrow (``ph: "s"``/``"f"``) so Perfetto draws the message
-        dependency edges the critical path walks.
+        dependency edges the critical path walks. Passing a
+        :class:`~repro.analysis.powertrace.PowerTrace` as ``power``
+        merges its counter tracks (``ph: "C"``; machine envelope plus
+        one track per rank) so Perfetto draws P(t) above the spans.
         """
         events: list[dict] = []
         for rank in range(self.size):
@@ -305,13 +355,15 @@ class Timeline:
                             "cat": "msg",
                         }
                     )
+        if power is not None:
+            events.extend(power.counter_events())
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
-    def save_chrome_trace(self, path, flows: bool = True) -> None:
+    def save_chrome_trace(self, path, flows: bool = True, power=None) -> None:
         """Write :meth:`to_chrome_trace` as JSON, loadable by
         https://ui.perfetto.dev or ``chrome://tracing``."""
         with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.to_chrome_trace(flows=flows), fh)
+            json.dump(self.to_chrome_trace(flows=flows, power=power), fh)
 
 
 class CriticalPath:

@@ -10,6 +10,7 @@
     python -m repro questions       # Section V answers on Table I
     python -m repro trace matmul25d # traced run: timeline + critical path
     python -m repro profile cannon  # per-term Eq. (1)/(2) attribution
+    python -m repro power matmul25d # time-resolved P(t) traces + caps
 
 ``trace`` and ``profile`` accept ``--json`` for machine-readable
 output; ``profile --metrics-out`` dumps the run's metrics registry in
@@ -526,6 +527,83 @@ def _cmd_faults(args) -> None:
         raise SystemExit(f"repro faults: {exc}") from exc
 
 
+def _cmd_power(args) -> None:
+    import json
+
+    from repro.analysis.powertrace import PowerTrace, catalog_power_caps
+    from repro.analysis.validation import default_machine
+    from repro.exceptions import ReproError
+    from repro.simmpi import run_spmd
+
+    spec = resolve_scenario(args.workload, "repro power")
+    p = spec[0] if args.p is None else args.p
+    n = spec[1] if args.n is None else args.n
+    machine = default_machine()
+    try:
+        program, prog_args, label = _build_trace_program(args.workload, p, n)
+        out = run_spmd(
+            p,
+            program,
+            *prog_args,
+            machine=machine,
+            trace=True,
+            trace_capacity=args.capacity,
+        )
+        pt = PowerTrace.from_result(out, machine, label=label)
+        total_viol = (
+            pt.cap_violations(args.cap) if args.cap is not None else ()
+        )
+        rank_viol = (
+            pt.rank_cap_violations(args.per_rank_cap)
+            if args.per_rank_cap is not None
+            else ()
+        )
+        if args.json:
+            payload = pt.to_json()
+            payload["cap_watts"] = args.cap
+            payload["per_rank_cap_watts"] = args.per_rank_cap
+            payload["cap_violations"] = [
+                {
+                    "rank": v.rank,
+                    "t0": v.t0,
+                    "t1": v.t1,
+                    "peak_watts": v.peak_watts,
+                }
+                for v in (*total_viol, *rank_viol)
+            ]
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"{label} on p={p}:")
+            print(pt.render(width=args.width))
+            caps = catalog_power_caps(p)
+            print(
+                f"catalog caps (Table I machine): per-processor "
+                f"{caps.per_processor_watts:.2f} W, total "
+                f"{caps.total_watts:.2f} W"
+            )
+            for v in total_viol:
+                print(
+                    f"CAP VIOLATION (machine > {args.cap:g} W): "
+                    f"[{v.t0:.4g}, {v.t1:.4g}] s, peak {v.peak_watts:.4g} W"
+                )
+            for v in rank_viol:
+                print(
+                    f"CAP VIOLATION (rank {v.rank} > {args.per_rank_cap:g} W): "
+                    f"[{v.t0:.4g}, {v.t1:.4g}] s, peak {v.peak_watts:.4g} W"
+                )
+        if args.perfetto_out:
+            out.timeline().save_chrome_trace(args.perfetto_out, power=pt)
+            if not args.json:
+                print(
+                    f"\nwrote {args.perfetto_out} with power counter tracks "
+                    f"— load it at https://ui.perfetto.dev"
+                )
+        if total_viol or rank_viol:
+            raise SystemExit(3)
+    except ReproError as exc:
+        raise SystemExit(f"repro power: {exc}") from exc
+
+
 # -- scaling observatory ---------------------------------------------------
 
 #: Default ledger location (gitignored alongside the benchmark results).
@@ -802,6 +880,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a machine-readable JSON report instead of the text views",
     )
     pf.set_defaults(fn=_cmd_faults)
+    pw = sub.add_parser(
+        "power",
+        help="time-resolved power telemetry: P(t) traces, caps, counters",
+        description=(
+            "Run one simulated workload with tracing and convert its event "
+            "logs into piecewise-constant per-rank power traces P_r(t). "
+            "Integrating each trace reproduces the run's Eq. (2) energy "
+            "terms bit-exactly, and the whole-run average power equals "
+            "E/T. Power caps (--cap, --per-rank-cap) turn the machine "
+            "envelope into violation intervals; any violation exits 3."
+        ),
+        epilog="workloads:\n" + workload_lines,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    pw.add_argument("workload", choices=sorted(TRACE_WORKLOADS))
+    pw.add_argument("--p", type=int, default=None, help="rank count")
+    pw.add_argument("--n", type=int, default=None, help="problem size")
+    pw.add_argument(
+        "--capacity", type=int, default=None, help="per-rank event ring size"
+    )
+    pw.add_argument("--width", type=int, default=64, help="power chart width")
+    pw.add_argument(
+        "--cap", type=float, default=None, metavar="WATTS",
+        help="machine-wide power cap; violation intervals are listed and "
+        "the command exits 3",
+    )
+    pw.add_argument(
+        "--per-rank-cap", type=float, default=None, metavar="WATTS",
+        help="per-processor power cap, checked on every rank's trace",
+    )
+    pw.add_argument(
+        "--json", action="store_true",
+        help="emit the repro_power/v1 JSON payload instead of the text views",
+    )
+    pw.add_argument(
+        "--perfetto-out", default=None, metavar="TRACE_JSON",
+        help="write a Chrome/Perfetto trace.json with per-rank and "
+        "machine power counter tracks merged into the timeline",
+    )
+    pw.set_defaults(fn=_cmd_power)
     po = sub.add_parser(
         "observe",
         help="scaling observatory: run ledger, model fit, drift check",

@@ -20,7 +20,12 @@ from repro.core.parameters import MachineParameters
 from repro.core.timing import runtime
 from repro.exceptions import ParameterError
 
-__all__ = ["average_power", "per_processor_power", "max_p_under_total_power"]
+__all__ = [
+    "average_power",
+    "average_power_from_report",
+    "per_processor_power",
+    "max_p_under_total_power",
+]
 
 
 def average_power(
@@ -35,6 +40,28 @@ def average_power(
     if T <= 0:
         raise ParameterError("runtime is zero; power undefined")
     E = energy(costs, machine, n, p, M).total
+    return E / T
+
+
+def average_power_from_report(
+    report,
+    machine: MachineParameters,
+    memory_words: float | None = None,
+) -> float:
+    """Average power P = E / T on a run's *measured* counts, in watts.
+
+    ``report`` is a :class:`~repro.simmpi.trace.TraceReport` (duck-typed
+    to keep :mod:`repro.core` below :mod:`repro.simmpi` in the layering).
+    The division is performed on ``estimate_energy(...).total`` and
+    ``estimate_time(...).total`` verbatim, so the result is bitwise
+    equal to :attr:`repro.analysis.powertrace.PowerTrace.average_watts`
+    — the telemetry layer's whole-run average is this ratio, not a
+    re-derivation.
+    """
+    T = report.estimate_time(machine).total
+    if T <= 0:
+        raise ParameterError("runtime is zero; power undefined")
+    E = report.estimate_energy(machine, memory_words=memory_words).total
     return E / T
 
 

@@ -30,6 +30,7 @@ from repro.observatory.drift import (
     BaselineDiff,
     SweepVerdict,
     TermVerdict,
+    check_power_flatness,
     check_sweep,
     diff_against_baseline,
     inflate_term,
@@ -54,6 +55,7 @@ __all__ = [
     "SweepVerdict",
     "BaselineDiff",
     "check_sweep",
+    "check_power_flatness",
     "diff_against_baseline",
     "inflate_term",
 ]

@@ -20,7 +20,13 @@ from typing import Iterable
 
 from repro.analysis.asciiplot import sparkline
 from repro.exceptions import ParameterError
-from repro.observatory.drift import DRIFT_TOLERANCES, check_sweep, sweep_key
+from repro.observatory.drift import (
+    DRIFT_TOLERANCES,
+    _per_processor_watts,
+    check_power_flatness,
+    check_sweep,
+    sweep_key,
+)
 from repro.observatory.fit import fit_records
 from repro.observatory.ledger import Ledger, RunRecord, records_from
 
@@ -53,6 +59,13 @@ def _fit_or_none(records: list[RunRecord]):
 def _verdict_or_none(sweep: list[RunRecord]):
     try:
         return check_sweep(sweep)
+    except ParameterError:
+        return None
+
+
+def _power_verdict_or_none(sweep: list[RunRecord]):
+    try:
+        return check_power_flatness(sweep)
     except ParameterError:
         return None
 
@@ -101,12 +114,24 @@ def render_report(source: "Ledger | Iterable[RunRecord]") -> str:
             lines.append(
                 f"  E      {sparkline(e)}  {e[0]:.4g} -> {e[-1]:.4g} J"
             )
+        pw = [_per_processor_watts(r) for r in sweep]
+        if all(v is not None for v in pw):
+            lines.append(
+                f"  P/p    {sparkline(pw)}  flat = no additional power "
+                "per processor"
+            )
         verdict = _verdict_or_none(sweep)
         if verdict is not None:
             worst = max(verdict.terms, key=lambda tv: tv.spread)
             lines.append(
                 f"  drift: {verdict.classification.upper()} "
                 f"(worst term {worst.term}, spread {worst.spread:.3f})"
+            )
+        power = _power_verdict_or_none(sweep)
+        if power is not None:
+            lines.append(
+                f"  power: {power.classification.upper()} "
+                f"(P/p spread {power.terms[0].spread:.3f})"
             )
 
     fit = _fit_or_none(records)
@@ -262,6 +287,17 @@ def _html_sweep_section(key: tuple, sweep: list[RunRecord]) -> str:
         charts += _svg_log_chart(
             {"E measured": e_pts, "E flat ideal": flat}, "energy vs p (log-log)"
         )
+    pw_pts = tuple(
+        (r.p, _per_processor_watts(r))
+        for r in sweep
+        if _per_processor_watts(r) is not None
+    )
+    if len(pw_pts) >= 2:
+        flat_pw = tuple((p, pw_pts[0][1]) for p, _ in pw_pts)
+        charts += _svg_log_chart(
+            {"P/p measured": pw_pts, "P/p flat ideal": flat_pw},
+            "per-processor power vs p (log-log)",
+        )
     if charts:
         parts.append(charts)
 
@@ -303,6 +339,18 @@ def _html_sweep_section(key: tuple, sweep: list[RunRecord]) -> str:
             "<th>degraded &le;</th><th>verdict</th></tr>"
             + "".join(rows)
             + "</table>"
+        )
+
+    power = _power_verdict_or_none(sweep)
+    if power is not None:
+        tv = power.terms[0]
+        tol = DRIFT_TOLERANCES[tv.term]
+        parts.append(
+            f"<p>power flatness (P/p): <span class={power.classification}>"
+            f"{power.classification.upper()}</span> "
+            f"<span class=muted>spread {tv.spread:.3f}, perfect &le; "
+            f"{tol['perfect']:.2f}, degraded &le; {tol['degraded']:.2f}"
+            "</span></p>"
         )
     return "".join(parts)
 

@@ -24,6 +24,14 @@ The sweep's overall verdict is its worst term. Terms that are
 everywhere ~zero (e.g. ``alphaS`` energy on a machine with
 ``alpha_e = 0``) are vacuously perfect.
 
+:func:`check_power_flatness` applies the same machinery to the
+Section V-E power statement: per-processor average power P/p is
+independent of p inside the band (power telemetry's drift axis). It is
+a separate check, not a ninth :func:`check_sweep` term, because power
+is a *ratio* of the Eq. (1)/(2) totals rather than a term of either —
+and because it must also work on ledger records old enough to predate
+the power fields (it falls back to ``energy_total / time_total``).
+
 :func:`diff_against_baseline` compares a fresh record against the best
 historical record for the same workload key (same workload, params and
 p) so every new run is also judged against its own past.
@@ -44,6 +52,7 @@ __all__ = [
     "SweepVerdict",
     "BaselineDiff",
     "check_sweep",
+    "check_power_flatness",
     "diff_against_baseline",
     "inflate_term",
     "sweep_key",
@@ -70,6 +79,12 @@ DRIFT_TOLERANCES: dict[str, dict[str, float]] = {
     "E:alphaS": {"perfect": 0.35, "degraded": 0.85},
     "E:deltaMT": {"perfect": 0.50, "degraded": 0.85},
     "E:epsT": {"perfect": 0.35, "degraded": 0.85},
+    # Per-processor power P/p (Section V-E: independent of p in band).
+    # Canonical-sweep spread is 0.22 on the default machine (the same
+    # c-dependent collective constants as the terms above); a 2x
+    # inflation of the leakage term epsT on the post-baseline points
+    # lands ~0.33 (degraded), a 4x lands ~0.60 (broken).
+    "P:perProc": {"perfect": 0.30, "degraded": 0.55},
 }
 
 #: Ratio over the best historical T/E total that flags a regression in
@@ -275,6 +290,82 @@ def check_sweep(
     )
 
 
+def _per_processor_watts(record: RunRecord) -> float | None:
+    """P/p for one ledger record, or None when the record carries no
+    modeled totals.
+
+    Prefers ``energy_total / time_total`` (the definition) so perturbed
+    copies from :func:`inflate_term` flow through; records written by
+    the current ledger also carry the identical ratio pre-divided in
+    ``avg_watts``, which serves as the fallback for hand-built records.
+    """
+    if (
+        record.time_total is not None
+        and record.time_total > 0
+        and record.energy_total is not None
+    ):
+        return record.energy_total / record.time_total / record.p
+    if record.avg_watts is not None:
+        return record.avg_watts / record.p
+    return None
+
+
+def check_power_flatness(
+    source: "Ledger | Iterable[RunRecord]",
+    workload: str | None = None,
+) -> SweepVerdict:
+    """Classify a p-sweep's per-processor power P/p as perfect/degraded/broken.
+
+    Section V-E: inside the replication band, total power grows
+    linearly with p, so P/p is independent of p — a bend here means the
+    run is paying *additional energy per unit time per processor* for
+    its speedup, exactly what the paper's title rules out. Record
+    selection mirrors :func:`check_sweep` (one workload key, latest
+    record per p, >= 2 distinct p values); the verdict carries the
+    single term ``"P:perProc"`` judged against its
+    :data:`DRIFT_TOLERANCES` row.
+    """
+    records = [
+        r
+        for r in records_from(source)
+        if r.kind == "run" and _per_processor_watts(r) is not None
+    ]
+    if workload is not None:
+        records = [r for r in records if r.workload == workload]
+    if not records:
+        raise ParameterError("no sweep records with power data to check")
+    keys = {sweep_key(r) for r in records}
+    if len(keys) > 1:
+        raise ParameterError(
+            f"records span {len(keys)} workload keys {sorted(keys)}; "
+            "a sweep must share one (filter by workload/params first)"
+        )
+    by_p: dict[int, RunRecord] = {}
+    for r in records:  # append order == ledger order; later wins
+        by_p[r.p] = r
+    if len(by_p) < 2:
+        raise ParameterError(
+            f"a sweep needs >= 2 distinct p values, got {sorted(by_p)}"
+        )
+    sweep = [by_p[p] for p in sorted(by_p)]
+    values = tuple(_per_processor_watts(r) for r in sweep)
+    spread = _spread(values)
+    classification = _classify(spread, "P:perProc")
+    verdict = TermVerdict(
+        term="P:perProc",
+        values=values,
+        spread=spread,
+        classification=classification,
+    )
+    return SweepVerdict(
+        workload=sweep[0].workload,
+        p_values=tuple(r.p for r in sweep),
+        in_band=tuple(_in_band(r) for r in sweep),
+        terms=(verdict,),
+        classification=classification,
+    )
+
+
 def inflate_term(
     records: Iterable[RunRecord], term: str, factor: float
 ) -> list[RunRecord]:
@@ -296,6 +387,11 @@ def inflate_term(
     if factor <= 0:
         raise ParameterError(f"inflation factor must be > 0, got {factor}")
     side, key = term.split(":", 1)
+    if side not in ("T", "E"):
+        raise ParameterError(
+            f"only T:/E: terms can be inflated, got {term!r} "
+            "(P:perProc is a derived ratio — inflate E:epsT instead)"
+        )
     records = list(records)
     baseline_p = min(r.p for r in records)
     out = []
@@ -322,13 +418,18 @@ def inflate_term(
             terms = dict(r.energy_terms)
             delta = (factor - 1.0) * terms[key]
             terms[key] *= factor
+            new_total = (
+                None if r.energy_total is None else r.energy_total + delta
+            )
+            avg = r.avg_watts
+            if avg is not None and new_total is not None and r.time_total:
+                avg = new_total / r.time_total  # keep P = E/T consistent
             out.append(
                 replace(
                     r,
                     energy_terms=terms,
-                    energy_total=None
-                    if r.energy_total is None
-                    else r.energy_total + delta,
+                    energy_total=new_total,
+                    avg_watts=avg,
                 )
             )
     return out

@@ -139,6 +139,13 @@ class RunRecord:
     energy_terms: dict[str, float] | None = None
     time_total: float | None = None
     energy_total: float | None = None
+    #: whole-run average power E / T (the division of the two totals
+    #: above, so it matches core.power.average_power_from_report and
+    #: PowerTrace.average_watts bitwise); None without machine constants
+    avg_watts: float | None = None
+    #: machine-wide envelope peak from the power telemetry — only
+    #: available when the run was traced (event logs, no ring drops)
+    peak_watts: float | None = None
     metrics: dict[str, Any] | None = None
     wall_seconds: float | None = None
     git_sha: str | None = None
@@ -191,6 +198,7 @@ class RunRecord:
         critical_rank = None
         time_terms = energy_terms = None
         time_total = energy_total = None
+        avg_watts = peak_watts = None
         mem_words = memory_words
         machine_d = _machine_dict(machine)
         if machine is not None:
@@ -205,6 +213,17 @@ class RunRecord:
             time_total = profile.time.total
             energy_total = profile.energy.total
             mem_words = profile.memory_words
+            if time_total > 0:
+                avg_watts = energy_total / time_total
+            if getattr(result, "event_logs", None) is not None:
+                from repro.analysis.powertrace import PowerTrace
+
+                try:
+                    peak_watts = PowerTrace.from_result(
+                        result, machine, memory_words=mem_words
+                    ).peak_watts
+                except ParameterError:
+                    peak_watts = None  # ring drops / no virtual clocks
         metrics_snapshot = None
         if result.metrics is not None:
             from repro.metrics.export import to_record_snapshot
@@ -225,6 +244,8 @@ class RunRecord:
             energy_terms=energy_terms,
             time_total=time_total,
             energy_total=energy_total,
+            avg_watts=avg_watts,
+            peak_watts=peak_watts,
             metrics=metrics_snapshot,
             wall_seconds=wall_seconds,
             git_sha=git_sha() if with_git_sha else None,
@@ -314,6 +335,8 @@ class RunRecord:
             "energy_terms": self.energy_terms,
             "time_total": self.time_total,
             "energy_total": self.energy_total,
+            "avg_watts": self.avg_watts,
+            "peak_watts": self.peak_watts,
             "metrics": self.metrics,
             "wall_seconds": self.wall_seconds,
             "git_sha": self.git_sha,
@@ -398,6 +421,8 @@ class RunRecord:
             energy_terms=payload.get("energy_terms"),
             time_total=payload.get("time_total"),
             energy_total=payload.get("energy_total"),
+            avg_watts=payload.get("avg_watts"),
+            peak_watts=payload.get("peak_watts"),
             metrics=payload.get("metrics"),
             wall_seconds=payload.get("wall_seconds"),
             git_sha=payload.get("git_sha"),

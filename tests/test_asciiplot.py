@@ -4,10 +4,12 @@ import numpy as np
 import pytest
 
 from repro.analysis.asciiplot import (
+    _axis_ticks,
     line_plot,
     region_plot,
     sparkline,
     stacked_bars,
+    step_plot,
 )
 from repro.exceptions import ParameterError
 
@@ -145,6 +147,98 @@ class TestStackedBars:
     def test_rejects_narrow_width(self):
         with pytest.raises(ParameterError):
             stacked_bars({"x": {"a": 1.0}}, width=4)
+
+
+class TestStepPlot:
+    def _grid(self, out):
+        return [ln.split("|")[1] for ln in out.splitlines() if ln.count("|") == 2]
+
+    def test_basic_step_render_marks_every_column(self):
+        out = step_plot([0.0, 1.0, 2.0, 3.0], [1.0, 3.0, 2.0], width=24, height=8)
+        grid = self._grid(out)
+        assert len(grid) == 8
+        # the function is defined on all of [0, 3]: every column is hit
+        cols = {c for row in grid for c, ch in enumerate(row) if ch == "*"}
+        assert cols == set(range(24))
+
+    def test_columns_mark_the_maximum_level(self):
+        # A one-interval-wide spike must stay visible at any width.
+        breaks = [0.0, 0.499, 0.501, 1.0]
+        out = step_plot(breaks, [1.0, 100.0, 1.0], width=16, height=8)
+        grid = self._grid(out)
+        assert "*" in grid[0]  # spike reaches the top row
+        assert "*" in grid[-1]  # plateau sits on the bottom row
+
+    def test_constant_series(self):
+        out = step_plot([0.0, 1.0, 2.0], [5.0, 5.0], width=16, height=8)
+        grid = self._grid(out)
+        stars = [(r, c) for r, row in enumerate(grid)
+                 for c, ch in enumerate(row) if ch == "*"]
+        assert stars and len({r for r, _c in stars}) == 1
+
+    def test_zero_width_interval_renders_as_point(self):
+        out = step_plot([1.0, 1.0], [5.0], width=16, height=8)
+        assert sum(row.count("*") for row in self._grid(out)) == 1
+
+    def test_log_scale_orders_rows(self):
+        out = step_plot(
+            [0.0, 1.0, 2.0, 3.0], [1.0, 100.0, 10.0], logy=True,
+            width=24, height=8,
+        )
+        grid = self._grid(out)
+        rows = sorted(r for r, row in enumerate(grid) if "*" in row)
+        assert len(rows) == 3  # three distinct decades, three distinct rows
+
+    def test_title_and_labels(self):
+        out = step_plot(
+            [0.0, 1.0], [2.0], title="T!", x_label="t [s]", y_label="W"
+        )
+        assert out.splitlines()[0] == "T!"
+        assert "[t [s]]" in out and "(y = W)" in out
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ParameterError):
+            step_plot([0.0, 1.0], [1.0], width=4)
+        with pytest.raises(ParameterError):
+            step_plot([0.0, 1.0], [1.0], height=2)
+
+    def test_break_count_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            step_plot([0.0, 1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            step_plot([0.0], [])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ParameterError):
+            step_plot([0.0, float("nan")], [1.0])
+        with pytest.raises(ParameterError):
+            step_plot([0.0, 1.0], [float("inf")])
+
+    def test_decreasing_breaks_rejected(self):
+        with pytest.raises(ParameterError):
+            step_plot([0.0, 2.0, 1.0], [1.0, 2.0])
+
+
+class TestAxisTicks:
+    def test_narrow_range_escalates_precision(self):
+        # With %.3g every label on [1.0001, 1.0002] collapses to "1";
+        # distinct tick values must get distinct labels.
+        labels = _axis_ticks(1.0001, 1.0002, log=False, count=4)
+        assert len(set(labels)) == 4
+
+    def test_constant_axis_keeps_shared_label(self):
+        labels = _axis_ticks(2.5, 2.5, log=False, count=4)
+        assert set(labels) == {"2.5"}
+
+    def test_wide_range_stays_terse(self):
+        labels = _axis_ticks(0.0, 300.0, log=False, count=4)
+        assert labels == ["0", "100", "200", "300"]
+
+    def test_log_ticks_label_the_decades(self):
+        labels = _axis_ticks(0.0, 3.0, log=True, count=4)
+        assert labels == ["1", "10", "100", "1e+03"]
 
 
 class TestRegionPlot:

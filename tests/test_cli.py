@@ -24,6 +24,7 @@ class TestParser:
             "trace",
             "profile",
             "faults",
+            "power",
             "observe",
         }
 
@@ -201,6 +202,68 @@ class TestProfileCommand:
     def test_profile_rejects_invalid_p(self):
         with pytest.raises(SystemExit) as exc:
             main(["profile", "matmul25d", "--p", "5"])
+        assert "q^2 c" in str(exc.value)
+
+
+class TestPowerCommand:
+    def test_power_human_mode(self, capsys):
+        assert main(["power", "matmul25d", "--p", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "machine power over virtual time" in out
+        assert "average" in out and "peak" in out
+        assert "catalog caps" in out
+
+    def test_power_json_mode(self, capsys):
+        import json
+
+        assert main(["power", "nbody", "--p", "2", "--n", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro_power/v1"
+        assert payload["p"] == 2
+        assert len(payload["per_rank"]) == 2
+        assert payload["cap_violations"] == []
+        assert payload["average_watts"] > 0
+
+    def test_power_cap_violation_exits_3(self, capsys):
+        # The default matmul25d run peaks above 1 W, so a 1 W machine
+        # cap must produce violation intervals and a nonzero exit.
+        with pytest.raises(SystemExit) as exc:
+            main(["power", "matmul25d", "--p", "8", "--cap", "1.0"])
+        assert exc.value.code == 3
+        assert "CAP VIOLATION" in capsys.readouterr().out
+
+    def test_power_perfetto_out_merges_counters(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "power_trace.json"
+        assert main(
+            [
+                "power",
+                "matmul25d",
+                "--p",
+                "8",
+                "--perfetto-out",
+                str(out_path),
+            ]
+        ) == 0
+        events = json.loads(out_path.read_text())["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters
+        names = {e["name"] for e in counters}
+        assert "machine power [W]" in names
+        assert any(n.startswith("rank ") for n in names)
+        # thread-name metadata is untouched by the counter merge
+        meta = [e for e in events if e["ph"] == "M"]
+        assert sorted(e["tid"] for e in meta) == list(range(8))
+
+    def test_power_rejects_unknown_scenario(self):
+        # argparse choices= guard, same as trace/profile
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["power", "nosuch"])
+
+    def test_power_rejects_invalid_p(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["power", "matmul25d", "--p", "5"])
         assert "q^2 c" in str(exc.value)
 
 

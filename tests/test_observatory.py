@@ -22,13 +22,13 @@ from repro.observatory import (
 from repro.simmpi import run_spmd
 
 
-def _record_sweep(ledger, n=48, q=6, c_values=(1, 2, 3)):
+def _record_sweep(ledger, n=48, q=6, c_values=(1, 2, 3), machine=None):
     """Record the canonical fixed-tile 2.5D matmul p-sweep (the walk the
     drift tolerance table is calibrated on)."""
     from repro.algorithms.matmul25d import matmul_25d
     from repro.simmpi.pool import shared_pool
 
-    machine = default_machine()
+    machine = machine or default_machine()
     rng = np.random.default_rng(0)
     a = rng.standard_normal((n, n))
     b = rng.standard_normal((n, n))
@@ -236,6 +236,91 @@ class TestDriftClassifier:
         assert payload["schema"] == "repro_drift/v1"
         assert payload["classification"] == "perfect"
         assert len(payload["terms"]) == 8
+
+
+class TestLedgerPowerFields:
+    def test_run_records_carry_average_power(self, tmp_path):
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        (rec,) = _record_sweep(ledger, c_values=(1,))
+        assert rec.avg_watts == rec.energy_total / rec.time_total
+        # recorded runs are untraced: no event logs, so no P(t) peak
+        assert rec.peak_watts is None
+
+    def test_traced_run_carries_peak(self):
+        from repro.algorithms.cannon import cannon_matmul
+        from repro.analysis.powertrace import PowerTrace
+
+        machine = default_machine()
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((8, 8))
+        out = run_spmd(4, cannon_matmul, a, a, machine=machine, trace=True)
+        rec = RunRecord.from_result(out, "cannon", machine=machine)
+        pt = PowerTrace.from_result(out, machine)
+        assert rec.peak_watts == pt.peak_watts
+        assert rec.avg_watts == pt.average_watts
+
+    def test_round_trip_preserves_power_fields(self, tmp_path):
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        _record_sweep(ledger, c_values=(1, 2))
+        for sent, got in zip(ledger.query(workload="matmul25d"),
+                             ledger.query(workload="matmul25d")):
+            assert got.avg_watts == sent.avg_watts
+            assert got.peak_watts == sent.peak_watts
+
+    def test_pre_power_payloads_still_revive(self, tmp_path):
+        """Forward compat: ledgers written before the power fields
+        existed must keep loading, with both fields None."""
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        (rec,) = _record_sweep(ledger, c_values=(1,))
+        payload = rec.to_json()
+        del payload["avg_watts"]
+        del payload["peak_watts"]
+        old = RunRecord.from_json(payload)
+        assert old.avg_watts is None and old.peak_watts is None
+        assert old.counts_signature() == rec.counts_signature()
+
+
+class TestPowerFlatness:
+    def test_canonical_sweep_is_flat(self, tmp_path):
+        from repro.observatory import check_power_flatness
+
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        records = _record_sweep(ledger)
+        verdict = check_power_flatness(records)
+        assert verdict.classification == "perfect"
+        (term,) = verdict.terms
+        assert term.term == "P:perProc"
+        assert len(term.values) == 3
+        assert term.spread < DRIFT_TOLERANCES["P:perProc"]["perfect"]
+
+    def test_leakage_regression_bends_the_sweep(self, tmp_path):
+        """Inflating the always-on term on the post-baseline points is
+        the paper's forbidden failure — additional power per processor
+        — and must cross the degraded then broken thresholds."""
+        from repro.observatory import check_power_flatness
+
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        machine = default_machine().replace(epsilon_e=1.0)
+        records = _record_sweep(ledger, machine=machine)
+        assert check_power_flatness(records).classification == "perfect"
+        degraded = check_power_flatness(inflate_term(records, "E:epsT", 2.0))
+        assert degraded.classification == "degraded"
+        broken = check_power_flatness(inflate_term(records, "E:epsT", 4.0))
+        assert broken.classification == "broken"
+
+    def test_derived_ratio_cannot_be_inflated(self, tmp_path):
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        records = _record_sweep(ledger, c_values=(1, 2))
+        with pytest.raises(ParameterError, match="derived"):
+            inflate_term(records, "P:perProc", 2.0)
+
+    def test_needs_two_distinct_p(self, tmp_path):
+        from repro.observatory import check_power_flatness
+
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        records = _record_sweep(ledger, c_values=(1,))
+        with pytest.raises(ParameterError):
+            check_power_flatness(records)
 
 
 class TestRecordHookEquivalence:

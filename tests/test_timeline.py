@@ -159,6 +159,39 @@ class TestCriticalPath:
         assert CriticalPath.from_timeline(tl).total == tl.report.simulated_time
 
 
+class TestUtilization:
+    def test_two_rank_stall_known_fractions(self, machine):
+        out = run_spmd(2, two_rank_stall, machine=machine, trace=True)
+        util = out.timeline().utilization()
+        horizon = out.report.simulated_time
+        # rank 0 never waits: head compute + the send, then idle until
+        # rank 1 (the finishing rank, which is never idle) catches up
+        send_cost = machine.beta_t * 8.0 + machine.alpha_t
+        assert util[0]["stall"] == 0.0
+        assert util[0]["busy"] * horizon == pytest.approx(
+            machine.gamma_t * 1000.0 + send_cost, rel=1e-12
+        )
+        assert util[1]["busy"] * horizon == pytest.approx(
+            machine.gamma_t * 500.0, rel=1e-12
+        )
+        assert util[1]["stall"] > 0.0
+        assert util[1]["idle"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_fractions_sum_to_one(self, traced_matmul):
+        util = traced_matmul.timeline().utilization()
+        assert set(util) == set(range(8))
+        for frac in util.values():
+            assert frac["busy"] + frac["stall"] + frac["idle"] == (
+                pytest.approx(1.0, rel=1e-9)
+            )
+            assert all(v >= 0.0 for v in frac.values())
+
+    def test_requires_machine(self):
+        out = run_spmd(2, lambda comm: comm.add_flops(1), trace=True)
+        with pytest.raises(ParameterError, match="machine"):
+            out.timeline().utilization()
+
+
 class TestChromeTrace:
     def test_structure(self, traced_matmul):
         tl = traced_matmul.timeline()
@@ -202,6 +235,29 @@ class TestChromeTrace:
             "traceEvents"
         ]
         assert not [e for e in events if e["ph"] in ("s", "f")]
+
+    def test_power_counters_merge_without_touching_tracks(
+        self, traced_matmul, machine
+    ):
+        from repro.analysis.powertrace import PowerTrace
+
+        tl = traced_matmul.timeline()
+        pt = PowerTrace.from_result(traced_matmul, machine)
+        doc = tl.to_chrome_trace(power=pt)
+        events = doc["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters
+        assert {e["name"] for e in counters} >= {
+            "machine power [W]",
+            "rank 0 power [W]",
+        }
+        # the counter tracks ride along without disturbing the spans:
+        # same thread metadata, same X events, nothing else new
+        meta = [e for e in events if e["ph"] == "M"]
+        assert sorted(e["tid"] for e in meta) == list(range(8))
+        plain = tl.to_chrome_trace()["traceEvents"]
+        assert len(events) == len(plain) + len(counters)
+        assert not [e for e in plain if e["ph"] == "C"]
 
     def test_json_round_trip_and_save(self, traced_matmul, tmp_path):
         tl = traced_matmul.timeline()
