@@ -440,6 +440,72 @@ def regress_record(smoke: bool, checks: list) -> dict:
     }
 
 
+def regress_conformance(smoke: bool, checks: list) -> dict:
+    """Structural gate on the conformance grid: the smoke grid can
+    never silently shrink below the acceptance floor (>= 200 cells,
+    >= 5 non-power-of-two sizes, every collective family and every
+    registry scenario present), it must run clean, and the harness must
+    still *detect* a deliberately perturbed build — a vacuous grid that
+    passes everything is itself a regression."""
+    from repro.cli import TRACE_WORKLOADS
+    from repro.conformance import (
+        deliberately_perturbed,
+        run_grid,
+        smoke_cases,
+    )
+
+    cases = smoke_cases()
+    families = {c.name.split("/", 1)[0] for c in cases}
+    expected_families = {
+        "barrier", "bcast", "reduce", "allreduce", "allreduce_rd",
+        "reduce_scatter", "reduce_rsg", "allgather", "gather", "scatter",
+        "alltoall", "alltoall_bruck", "bcast_sa", "bruck_non_pow2",
+    } | {f"scenario:{w}" for w in TRACE_WORKLOADS}
+    missing = sorted(expected_families - families)
+    non_pow2 = sorted({c.size for c in cases if c.size & (c.size - 1)})
+    if smoke:
+        # Size-structure checks are cheap; only run a slice of the grid.
+        sliced = [c for c in cases if c.size in (3, 4)]
+        report = run_grid(sliced, grid="smoke")
+        cells_floor = 8 * len(sliced)
+    else:
+        report = run_grid(cases, grid="smoke")
+        cells_floor = 200
+    with deliberately_perturbed(extra_words=2):
+        perturbed = run_grid(cases[:4], grid="smoke", fail_limit=1)
+    grid_big_enough = 8 * len(cases) >= 200
+    _check(
+        checks, "conformance:grid_floor", grid_big_enough,
+        f"smoke grid spans {8 * len(cases)} cells (floor 200)",
+    )
+    _check(
+        checks, "conformance:non_pow2_sizes", len(non_pow2) >= 5,
+        f"non-power-of-two sizes {non_pow2} (floor 5)",
+    )
+    _check(
+        checks, "conformance:families_complete", not missing,
+        "all collective families and scenarios present"
+        if not missing else f"missing families: {missing}",
+    )
+    _check(
+        checks, "conformance:zero_divergence",
+        report.ok and report.cells >= cells_floor,
+        f"{report.cells} cells ran, {len(report.divergences)} divergence(s)",
+    )
+    _check(
+        checks, "conformance:perturbation_detected", not perturbed.ok,
+        "deliberately mis-metered build diverges"
+        if not perturbed.ok else "perturbed build passed — harness is vacuous",
+    )
+    return {
+        "cases": len(cases),
+        "cells_run": report.cells,
+        "non_pow2_sizes": non_pow2,
+        "divergences": len(report.divergences),
+        "perturbation_detected": not perturbed.ok,
+    }
+
+
 def append_to_ledger(report: dict, ledger_path: Path) -> None:
     """Append the gate outcome to the observatory run ledger."""
     from repro.observatory import Ledger, RunRecord
@@ -495,6 +561,8 @@ def main(argv=None) -> int:
         fresh["fastpath_equivalence"] = regress_fastpath(args.smoke, checks)
         print("\n== run-ledger record hook (disabled path) ==")
         fresh["record_disabled_path"] = regress_record(args.smoke, checks)
+        print("\n== differential conformance grid (structural) ==")
+        fresh["conformance_grid"] = regress_conformance(args.smoke, checks)
 
     ok = all(c["ok"] for c in checks)
     report = {

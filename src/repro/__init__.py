@@ -14,6 +14,9 @@ Layout
   Section VI technology-scaling case study.
 * :mod:`repro.analysis` — figure/table series generators (Fig. 3, 4, 6,
   7) and measured-vs-analytic validation.
+* :mod:`repro.conformance` — closed-form per-rank cost oracles and the
+  differential harness that checks every execution mode against them
+  (``repro conformance``).
 
 Quickstart::
 

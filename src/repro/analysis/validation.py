@@ -12,6 +12,12 @@ energy* — is :func:`measure_strong_scaling_matmul` /
 :func:`measure_strong_scaling_nbody`: holding n and the per-rank memory
 fixed while p grows by c, the measured-count runtime estimate must fall
 ~1/c while the measured-count energy estimate stays ~constant.
+
+Every comparison here trusts the simulator's metered counts; that trust
+is certified upstream by :mod:`repro.conformance`, which differences
+all execution modes against closed-form per-rank cost oracles (CLI:
+``repro conformance``) — so a metering regression is caught there, not
+as an unexplained validation drift here.
 """
 
 from __future__ import annotations

@@ -604,6 +604,34 @@ def _cmd_power(args) -> None:
         raise SystemExit(f"repro power: {exc}") from exc
 
 
+# -- differential conformance ----------------------------------------------
+
+
+def _cmd_conformance(args) -> None:
+    """Run a conformance grid; exit 4 on any divergence."""
+    from repro.conformance import deliberately_perturbed, grid_cases, run_grid
+
+    try:
+        cases = grid_cases(args.grid, seed=args.seed, cells=args.cells)
+        if args.demo_divergence:
+            # Prove the harness detects a broken build: mis-meter every
+            # message-path send, then demand the grid catches it.
+            with deliberately_perturbed(extra_words=2):
+                report = run_grid(
+                    cases, grid=args.grid, seed=args.seed,
+                    fail_limit=args.fail_limit,
+                )
+        else:
+            report = run_grid(
+                cases, grid=args.grid, seed=args.seed, fail_limit=args.fail_limit
+            )
+    except ReproError as exc:
+        raise SystemExit(f"repro conformance: {exc}") from exc
+    print(report.to_json() if args.json else report.summary())
+    if not report.ok:
+        raise SystemExit(4)
+
+
 # -- scaling observatory ---------------------------------------------------
 
 #: Default ledger location (gitignored alongside the benchmark results).
@@ -974,6 +1002,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="fit/check: emit machine-readable JSON instead of text",
     )
     po.set_defaults(fn=_cmd_observe)
+    pk = sub.add_parser(
+        "conformance",
+        help="differential conformance: cost oracles vs every execution mode",
+        description=(
+            "Execute a grid of (collective | scenario) cases under all "
+            "eight execution modes (message path vs analytic fastpath, "
+            "engine vs pool, copy vs CoW payloads, trace/metrics "
+            "observers) and assert per-rank counts, virtual clocks, "
+            "internode sub-tallies and payload contents are bit-identical "
+            "across modes and equal to the closed-form oracles of "
+            "repro.conformance.oracles. Any divergence prints a minimized "
+            "reproducer and exits 4."
+        ),
+        epilog=(
+            "grids:\n"
+            "  smoke    deterministic CI grid: all ten collectives at\n"
+            "           power-of-two and non-power-of-two sizes, Bruck\n"
+            "           error-conformance cells, every registry scenario\n"
+            "  random   seeded sweep over sizes 2..33 (primes included)\n"
+            "           with randomized roots, payload shapes and caps\n"
+            "  full     smoke + sizes up to 33 + the seeded sweep"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    pk.add_argument(
+        "--grid", choices=("smoke", "random", "full"), default="smoke",
+        help="which case grid to run (default smoke)",
+    )
+    pk.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the random/full grids (default 0)",
+    )
+    pk.add_argument(
+        "--cells", type=int, default=40, metavar="N",
+        help="randomized case count for the random/full grids (default 40)",
+    )
+    pk.add_argument(
+        "--fail-limit", type=int, default=5, metavar="N",
+        help="stop after N divergences (default 5)",
+    )
+    pk.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of the summary line",
+    )
+    pk.add_argument(
+        "--demo-divergence", action="store_true",
+        help="deliberately mis-meter the message path first, proving the "
+        "harness detects a broken build (expected exit: 4)",
+    )
+    pk.set_defaults(fn=_cmd_conformance)
     return parser
 
 

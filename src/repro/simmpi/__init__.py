@@ -19,6 +19,19 @@ Quick example::
 """
 
 from repro.simmpi.cart import CartComm, factor_grid
+from repro.simmpi.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    alltoall_bruck,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    reduce_scatter,
+    scatter,
+    sum_op,
+)
 from repro.simmpi.comm import Comm
 from repro.simmpi.counters import CostCounter, CounterSnapshot
 from repro.simmpi.engine import SpmdResult, run_spmd
@@ -57,6 +70,17 @@ __all__ = [
     "Comm",
     "CartComm",
     "factor_grid",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "reduce_scatter",
+    "allgather",
+    "gather",
+    "scatter",
+    "alltoall",
+    "alltoall_bruck",
+    "sum_op",
     "run_spmd",
     "SpmdResult",
     "SpmdPool",

@@ -35,8 +35,12 @@ cyclic pairwise exchange is the "naive" W = n/p, S = p choice and Bruck
 is the "tree-based" W = n log p / p, S = log p choice.
 
 Reduction operators receive ``(accumulator, incoming)`` and must return
-the combined value; :data:`SUM` flop-counts elementwise additions via
-the rank's counter, which the comm layer passes in as ``ctx``.
+the combined value; the built-in :func:`sum_op` adds ndarrays and
+scalars without metering flops — reduction arithmetic is free in the
+model, matching the paper's cost table (communication only). The
+closed forms in this table are re-derived independently by
+:mod:`repro.conformance.oracles` and checked cell-by-cell by the
+``repro conformance`` differential harness.
 """
 
 from __future__ import annotations
@@ -271,9 +275,9 @@ def allreduce(
       * "reduce_bcast" (default) — binomial reduce then broadcast
         (2 log2 p rounds, works for any op/payload).
       * "recursive_doubling" — log2 p rounds of pairwise exchanges, each
-        moving the whole payload both ways; power-of-two sizes fold the
-        excess ranks in/out first. Halves the root bottleneck and the
-        round count for large payloads.
+        moving the whole payload both ways; non-power-of-two sizes fold
+        the excess ranks in/out first. Halves the root bottleneck and
+        the round count for large payloads.
     """
     with collective_span(comm, "allreduce", algorithm):
         if algorithm == "reduce_bcast":

@@ -26,6 +26,7 @@ class TestParser:
             "faults",
             "power",
             "observe",
+            "conformance",
         }
 
     def test_requires_command(self):
