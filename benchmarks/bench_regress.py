@@ -506,6 +506,104 @@ def regress_conformance(smoke: bool, checks: list) -> dict:
     }
 
 
+def regress_sweep(smoke: bool, checks: list) -> dict:
+    """Exact gate on the sharded sweep engine: live in-process runs,
+    a cold sharded sweep and a warm cache-replay sweep must all be
+    bit-identical in counts_signature, per-rank virtual clocks and the
+    Eq. (1)/(2) term attribution; the warm pass must hit the cache on
+    100% of cells and be >= 5x faster than the cold pass; and a worker
+    crash mid-shard must lose nothing (requeue produces the full record
+    set). Any drift here means the cache could replay stale physics."""
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.observatory import Ledger
+    from repro.sweep import RunCache, execute_cell, run_sweep, smoke_spec
+
+    n = 24 if smoke else 48
+    cells = smoke_spec(n).cells()
+    live = {cell.cell_id: execute_cell(cell) for cell in cells}
+
+    def identical(a, b) -> bool:
+        return (
+            a.counts == b.counts
+            and a.vtimes == b.vtimes
+            and a.time_terms == b.time_terms
+            and a.energy_terms == b.energy_terms
+            and a.time_total == b.time_total
+            and a.energy_total == b.energy_total
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = RunCache(_Path(tmp) / "cache")
+        cold_ledger = Ledger(_Path(tmp) / "cold.jsonl")
+        cold = run_sweep(cells, ledger=cold_ledger, cache=cache, workers=2)
+        warm_ledger = Ledger(_Path(tmp) / "warm.jsonl")
+        warm = run_sweep(cells, ledger=warm_ledger, cache=cache, workers=2)
+        live_cold = all(
+            identical(live[cid], cold.records[cid]) for cid in live
+        )
+        cold_warm = all(
+            identical(cold.records[cid], warm.records[cid]) for cid in live
+        )
+        ledger_faithful = all(
+            a.counts == b.counts and a.vtimes == b.vtimes
+            for a, b in zip(cold_ledger.records(), warm_ledger.records())
+        )
+        crashed = run_sweep(
+            cells, workers=2, crash_plan={0: 1}, max_requeues=2
+        )
+        crash_complete = (
+            crashed.requeues >= 1
+            and crashed.failed == 0
+            and all(
+                identical(live[cid], crashed.records[cid]) for cid in live
+            )
+        )
+    speedup = cold.elapsed / warm.elapsed if warm.elapsed else float("inf")
+    _check(
+        checks, "sweep:cold_all_simulated",
+        cold.simulated == len(cells) and cold.hits == 0,
+        f"cold pass simulated {cold.simulated}/{len(cells)} cells",
+    )
+    _check(
+        checks, "sweep:warm_all_hits",
+        warm.hits == len(cells) and warm.simulated == 0,
+        f"warm pass hit cache on {warm.hits}/{len(cells)} cells",
+    )
+    _check(
+        checks, "sweep:live_cold_identical", live_cold,
+        "sharded cold records bit-match in-process runs "
+        "(counts, vtimes, Eq. (1)/(2) terms)",
+    )
+    _check(
+        checks, "sweep:cold_warm_identical", cold_warm,
+        "cache replay bit-matches the run that populated it",
+    )
+    _check(
+        checks, "sweep:ledger_identical", ledger_faithful,
+        "cold and warm ledgers carry identical counts and clocks",
+    )
+    _check(
+        checks, "sweep:warm_speedup", speedup >= 5.0,
+        f"warm {warm.elapsed:.4g} s vs cold {cold.elapsed:.4g} s "
+        f"({speedup:.1f}x, floor 5x)",
+    )
+    _check(
+        checks, "sweep:crash_requeue", crash_complete,
+        f"worker crash requeued cleanly ({crashed.requeues} requeue(s), "
+        f"{len(crashed.records)}/{len(cells)} records recovered)",
+    )
+    return {
+        "cells": len(cells),
+        "cold_seconds": cold.elapsed,
+        "warm_seconds": warm.elapsed,
+        "speedup": speedup,
+        "warm_hits": warm.hits,
+        "requeues": crashed.requeues,
+    }
+
+
 def append_to_ledger(report: dict, ledger_path: Path) -> None:
     """Append the gate outcome to the observatory run ledger."""
     from repro.observatory import Ledger, RunRecord
@@ -563,6 +661,8 @@ def main(argv=None) -> int:
         fresh["record_disabled_path"] = regress_record(args.smoke, checks)
         print("\n== differential conformance grid (structural) ==")
         fresh["conformance_grid"] = regress_conformance(args.smoke, checks)
+        print("\n== sharded sweep engine (cache bit-identity) ==")
+        fresh["sweep_cache_identity"] = regress_sweep(args.smoke, checks)
 
     ok = all(c["ok"] for c in checks)
     report = {

@@ -610,6 +610,7 @@ def _cmd_power(args) -> None:
 def _cmd_conformance(args) -> None:
     """Run a conformance grid; exit 4 on any divergence."""
     from repro.conformance import deliberately_perturbed, grid_cases, run_grid
+    from repro.exceptions import ReproError
 
     try:
         cases = grid_cases(args.grid, seed=args.seed, cells=args.cells)
@@ -644,31 +645,41 @@ SMOKE_SWEEP_Q = 6
 SMOKE_SWEEP_C = (1, 2, 3)
 
 
-def _observe_record_sweep(ledger, n: int) -> None:
-    """Record the canonical fixed-tile matmul25d p-sweep into ``ledger``."""
-    from repro.algorithms.matmul25d import matmul_25d
-    from repro.analysis.validation import default_machine
-    from repro.observatory import RunRecorder
-    from repro.simmpi.pool import shared_pool
+#: Default sweep-cache location (gitignored alongside the ledger).
+DEFAULT_SWEEP_CACHE = "benchmarks/results/sweepcache"
+
+
+def _observe_record_sweep(ledger, n: int, cache_dir: str | None = None) -> None:
+    """Record the canonical fixed-tile matmul25d p-sweep into ``ledger``.
+
+    Runs through the sweep engine so repeat invocations replay the
+    content-addressed cache instead of re-simulating (``observe check``
+    on an unchanged tree costs three file reads, not three runs). The
+    cache lives in a ``sweepcache/`` sibling of the ledger, so a
+    temporary ledger gets a temporary cache.
+    """
+    from pathlib import Path
+
+    from repro.exceptions import ParameterError, SweepError
+    from repro.sweep import RunCache, run_sweep, smoke_spec
 
     q = SMOKE_SWEEP_Q
     if n % q:
         raise SystemExit(f"repro observe: n={n} must be divisible by q={q}")
-    machine = default_machine()
-    rng = np.random.default_rng(0)
-    a = rng.standard_normal((n, n))
-    b = rng.standard_normal((n, n))
-    tile_words = 3 * (n // q) ** 2
-    for c in SMOKE_SWEEP_C:
-        p = q * q * c
-        recorder = RunRecorder(
-            ledger=ledger,
-            workload="matmul25d",
-            params={"n": n, "q": q, "c": c},
-            label=f"matmul25d(n={n}, c={c})",
-            memory_words=tile_words,
-        )
-        shared_pool().run(p, matmul_25d, a, b, c, machine=machine, record=recorder)
+    try:
+        cells = smoke_spec(n).cells()
+    except ParameterError as exc:
+        raise SystemExit(f"repro observe: {exc}") from exc
+    if cache_dir is None:
+        cache_dir = str(Path(ledger.path).parent / "sweepcache")
+    cache = RunCache(cache_dir)
+    try:
+        outcome = run_sweep(cells, ledger=ledger, cache=cache, workers=0)
+    except SweepError as exc:
+        raise SystemExit(f"repro observe: {exc}") from exc
+    if not outcome.ok:
+        bad = next(o for o in outcome.outcomes if o.status == "failed")
+        raise SystemExit(f"repro observe: sweep cell failed: {bad.error}")
 
 
 def _parse_inflate(spec: str) -> tuple[str, float]:
@@ -778,6 +789,132 @@ def _cmd_observe(args) -> None:
             raise AssertionError(args.action)
     except ReproError as exc:
         raise SystemExit(f"repro observe: {exc}") from exc
+
+
+# -- sharded sweeps --------------------------------------------------------
+
+
+def _sweep_load_spec(args):
+    """Resolve --spec (file) or the default canonical smoke spec."""
+    import json
+
+    from repro.exceptions import ParameterError
+    from repro.sweep import SweepSpec, smoke_spec
+
+    if args.spec:
+        try:
+            with open(args.spec, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except OSError as exc:
+            raise SystemExit(f"repro sweep: cannot read {args.spec}: {exc}")
+        except ValueError as exc:
+            raise SystemExit(f"repro sweep: {args.spec} is not JSON: {exc}")
+        try:
+            return SweepSpec.from_json(payload)
+        except ParameterError as exc:
+            raise SystemExit(f"repro sweep: {exc}") from exc
+    try:
+        return smoke_spec(args.n)
+    except ParameterError as exc:
+        raise SystemExit(f"repro sweep: {exc}") from exc
+
+
+def _cmd_sweep(args) -> None:
+    """Plan/run/garbage-collect sharded sweeps; run exits 5 on any
+    failed or abandoned cell."""
+    import json
+
+    from repro.exceptions import ParameterError, SweepError
+    from repro.sweep import RunCache, cache_key, code_fingerprint, run_sweep
+
+    if args.action == "gc":
+        cache = RunCache(args.cache_dir)
+        before = cache.stats()
+        removed = cache.gc(drop_all=args.all)
+        after = cache.stats()
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "schema": "repro_sweep_gc/v1",
+                        "removed": removed,
+                        "before": before.to_json(),
+                        "after": after.to_json(),
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            what = "all" if args.all else "stale"
+            print(
+                f"gc({what}): removed {removed} of {before.entries} "
+                f"entries; {after.entries} left "
+                f"({after.current} current, {after.stale} stale)"
+            )
+        return
+
+    spec = _sweep_load_spec(args)
+    try:
+        cells = spec.cells()
+    except ParameterError as exc:
+        raise SystemExit(f"repro sweep: {exc}") from exc
+
+    if args.action == "plan":
+        fingerprint = code_fingerprint()
+        cache = RunCache(args.cache_dir)
+        rows = []
+        for cell in cells:
+            key = cache_key(cell, fingerprint)
+            cached = cache.get(cell, fingerprint) is not None
+            rows.append((cell, key, cached))
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "schema": "repro_sweep_plan/v1",
+                        "fingerprint": fingerprint,
+                        "cells": [
+                            {
+                                "cell_id": cell.cell_id,
+                                "key": key,
+                                "cached": cached,
+                                **cell.identity(),
+                            }
+                            for cell, key, cached in rows
+                        ],
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(f"{len(rows)} cell(s), fingerprint {fingerprint[:12]}:")
+            for cell, key, cached in rows:
+                mark = "cached" if cached else "miss"
+                print(f"  {cell.cell_id:<48s} {mark:<6s} key={key[:12]}")
+        return
+
+    assert args.action == "run"
+    from repro.observatory import Ledger
+
+    ledger = Ledger(args.ledger)
+    cache = None if args.cold else RunCache(args.cache_dir)
+    try:
+        outcome = run_sweep(
+            cells, ledger=ledger, cache=cache, workers=args.workers
+        )
+    except SweepError as exc:
+        partial = getattr(exc, "outcome", None)
+        if partial is not None and not args.json:
+            print(partial.summary(), file=sys.stderr)
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        raise SystemExit(5) from exc
+    if args.json:
+        print(json.dumps(outcome.to_json(), indent=2))
+    else:
+        print(outcome.summary())
+        print(f"appended {outcome.hits + outcome.simulated} record(s) to {ledger.path}")
+    if not outcome.ok:
+        raise SystemExit(5)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1052,6 +1189,63 @@ def build_parser() -> argparse.ArgumentParser:
         "harness detects a broken build (expected exit: 4)",
     )
     pk.set_defaults(fn=_cmd_conformance)
+    ps = sub.add_parser(
+        "sweep",
+        help="sharded sweeps: plan cells, run them cached, gc the cache",
+        description=(
+            "Expand a declarative sweep spec into deterministic cells, "
+            "fan the uncached ones over a multiprocessing worker pool "
+            "(records funnel through a single writer into the ledger), "
+            "and replay cache hits bit-identically. The cache key is a "
+            "content address over (workload, params, the ten machine "
+            "constants, mode flags, code fingerprint), so any source "
+            "edit invalidates every entry."
+        ),
+        epilog=(
+            "actions:\n"
+            "  plan   print the cells a spec expands to (+ cache status)\n"
+            "  run    execute the sweep; exits 5 if any cell failed\n"
+            "  gc     drop stale cache entries (--all: drop everything)\n"
+            "default spec: the canonical observatory smoke sweep\n"
+            "(matmul25d, q=6, c=1,2,3 — same walk as `observe check`)"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ps.add_argument("action", choices=("plan", "run", "gc"))
+    ps.add_argument(
+        "--spec", default=None, metavar="SPEC_JSON",
+        help="sweep spec file (repro_sweep_spec/v1); default: smoke spec",
+    )
+    ps.add_argument(
+        "--n", type=int, default=48,
+        help="problem size for the default smoke spec (default 48)",
+    )
+    ps.add_argument(
+        "--ledger", default=DEFAULT_LEDGER, metavar="JSONL",
+        help=f"ledger path for run (default {DEFAULT_LEDGER})",
+    )
+    ps.add_argument(
+        "--cache-dir", default=DEFAULT_SWEEP_CACHE, metavar="DIR",
+        help=f"run cache root (default {DEFAULT_SWEEP_CACHE})",
+    )
+    ps.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: one per core, capped at 8; "
+        "0 runs serially in-process)",
+    )
+    ps.add_argument(
+        "--cold", action="store_true",
+        help="run: bypass the cache entirely (simulate every cell)",
+    )
+    ps.add_argument(
+        "--all", action="store_true",
+        help="gc: drop every cache entry, not just stale ones",
+    )
+    ps.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the text summary",
+    )
+    ps.set_defaults(fn=_cmd_sweep)
     return parser
 
 

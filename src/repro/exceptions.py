@@ -90,3 +90,12 @@ class RankFailedError(SimulationError):
 
 class CommunicatorError(SimulationError):
     """Misuse of a communicator (bad rank, bad tag, mismatched collective)."""
+
+
+class SweepError(SimulationError):
+    """The sharded sweep executor could not complete a sweep.
+
+    Raised when a shard exhausts its crash-requeue budget or the worker
+    pool is lost entirely; partial results are *not* silently dropped —
+    the executor reports which cells finished and which were abandoned.
+    """

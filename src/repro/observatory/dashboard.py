@@ -30,7 +30,7 @@ from repro.observatory.drift import (
 from repro.observatory.fit import fit_records
 from repro.observatory.ledger import Ledger, RunRecord, records_from
 
-__all__ = ["render_report", "render_html", "sweep_groups"]
+__all__ = ["render_report", "render_html", "sweep_cache_stats", "sweep_groups"]
 
 
 def sweep_groups(
@@ -47,6 +47,23 @@ def sweep_groups(
     return [
         (key, [by_p[p] for p in sorted(by_p)]) for key, by_p in groups.items()
     ]
+
+
+def sweep_cache_stats(records: Iterable[RunRecord]) -> tuple[int, int]:
+    """(cache hits, misses) among records the sweep engine appended —
+    records whose ``extra['sweep']['cache']`` provenance tag says how
+    they got into the ledger. Hand-recorded runs carry no tag and count
+    in neither bucket."""
+    hits = misses = 0
+    for r in records:
+        tag = (r.extra or {}).get("sweep")
+        if not isinstance(tag, dict):
+            continue
+        if tag.get("cache") == "hit":
+            hits += 1
+        elif tag.get("cache") == "miss":
+            misses += 1
+    return hits, misses
 
 
 def _fit_or_none(records: list[RunRecord]):
@@ -91,6 +108,12 @@ def render_report(source: "Ledger | Iterable[RunRecord]") -> str:
         lines.append("  (empty — run `repro observe record` or pass record= "
                      "to run_spmd)")
         return "\n".join(lines)
+    hits, misses = sweep_cache_stats(records)
+    if hits or misses:
+        lines.append(
+            f"  sweep cache: {hits} replayed, {misses} simulated "
+            f"({hits + misses} sweep-engine record(s))"
+        )
 
     groups = sweep_groups(records)
     for (workload, pinned), sweep in groups:
@@ -370,6 +393,12 @@ def render_html(source: "Ledger | Iterable[RunRecord]") -> str:
                 f"<p class=broken>{len(quarantined)} corrupt line(s) "
                 f"quarantined</p>"
             )
+    hits, misses = sweep_cache_stats(records)
+    if hits or misses:
+        body.append(
+            f"<p class=muted>sweep cache: {hits} replayed, {misses} "
+            f"simulated</p>"
+        )
 
     for key, sweep in sweep_groups(records):
         body.append(_html_sweep_section(key, sweep))

@@ -33,6 +33,7 @@ object through their call stacks.
 from __future__ import annotations
 
 import math
+import os
 import queue
 import threading
 import time
@@ -378,3 +379,19 @@ def shared_pool() -> SpmdPool:
         if _shared_pool is None:
             _shared_pool = SpmdPool()
         return _shared_pool
+
+
+def _reset_after_fork() -> None:
+    """fork() copies only the calling thread: a child inheriting the
+    singleton would enqueue jobs onto worker threads that do not exist
+    there and hang forever. Dropping the reference (and replacing the
+    lock, which may have been held mid-fork) makes the child's first
+    shared_pool() call build a fresh pool. The sweep executor's worker
+    processes rely on this."""
+    global _shared_pool, _shared_pool_lock
+    _shared_pool = None
+    _shared_pool_lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # not on every platform
+    os.register_at_fork(after_in_child=_reset_after_fork)

@@ -1,0 +1,231 @@
+"""Content-addressed run cache for sweep cells.
+
+A cached entry is keyed by the sha256 of a canonical JSON blob holding
+the cell's full identity (workload, params, the ten machine constants,
+mode flags) **plus the code fingerprint** — a digest over every source
+file under ``src/repro``. Because the simulator is deterministic, a key
+hit means the stored :class:`~repro.observatory.ledger.RunRecord` is
+bit-identical to what a live run would produce: same counts_signature,
+same per-rank vtimes, same Eq. (1)/(2) term attribution. Replaying it
+into the ledger therefore costs a file read, not a simulation.
+
+Invalidation is by construction: any edit to any ``repro`` source file
+changes the fingerprint, which changes every key, so stale entries are
+simply never looked up again. ``repro sweep gc`` (→ :meth:`RunCache.gc`)
+deletes entries whose stored fingerprint no longer matches, reclaiming
+the space.
+
+Entries live under ``<root>/<key[:2]>/<key>.json`` (fan-out keeps
+directory listings short) and are written atomically (temp file +
+``os.replace``) so a crashed writer can never leave a half-written
+entry that a later reader would trust.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ParameterError
+from repro.observatory.ledger import RunRecord
+from repro.sweep.spec import Cell, canonical_json
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "FINGERPRINT_ENV",
+    "CacheStats",
+    "RunCache",
+    "cache_key",
+    "code_fingerprint",
+]
+
+CACHE_SCHEMA = "repro_sweep_cache/v1"
+
+#: Set this env var to pin the fingerprint (tests use it to simulate a
+#: code change without editing source files).
+FINGERPRINT_ENV = "REPRO_SWEEP_FINGERPRINT"
+
+_SRC_ROOT = Path(__file__).resolve().parent.parent
+_fingerprint_cache: str | None = None
+
+
+def code_fingerprint(refresh: bool = False) -> str:
+    """Digest of every ``repro`` source file: sha256 over the sorted
+    (relative path, file bytes) stream. Any source edit — new file,
+    deleted file, changed line — changes it, which invalidates every
+    cache key derived from it.
+
+    The value is computed once per process (the source tree does not
+    change under a running sweep); ``refresh=True`` forces a re-scan.
+    The ``REPRO_SWEEP_FINGERPRINT`` env var overrides it entirely.
+    """
+    override = os.environ.get(FINGERPRINT_ENV)
+    if override:
+        return override
+    global _fingerprint_cache
+    if _fingerprint_cache is not None and not refresh:
+        return _fingerprint_cache
+    h = hashlib.sha256()
+    for path in sorted(_SRC_ROOT.rglob("*.py")):
+        rel = path.relative_to(_SRC_ROOT).as_posix()
+        h.update(rel.encode("utf-8"))
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    _fingerprint_cache = h.hexdigest()
+    return _fingerprint_cache
+
+
+def cache_key(cell: Cell, fingerprint: str | None = None) -> str:
+    """The content address: sha256 of (cell identity + code fingerprint)."""
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    blob = canonical_json(
+        {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": fingerprint,
+            "cell": cell.identity(),
+        }
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """What :meth:`RunCache.stats` reports (and ``sweep gc`` prints)."""
+
+    entries: int
+    current: int
+    stale: int
+    bytes: int
+
+    def to_json(self) -> dict[str, int]:
+        return {
+            "entries": self.entries,
+            "current": self.current,
+            "stale": self.stale,
+            "bytes": self.bytes,
+        }
+
+
+class RunCache:
+    """Content-addressed store of finished RunRecords, one JSON file per
+    cell. Get/put are parent-process-only in the sweep executor (the
+    single-writer funnel), so no cross-process locking is needed; the
+    atomic-replace write keeps even rogue concurrent writers safe
+    (last-writer-wins with both writers writing identical content)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- lookup / store ---------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, cell: Cell, fingerprint: str | None = None) -> RunRecord | None:
+        """The cached record for this cell under the current code
+        fingerprint, or None on miss / unreadable entry."""
+        path = self._entry_path(cache_key(cell, fingerprint))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+            return None
+        try:
+            return RunRecord.from_json(payload["record"])
+        except (KeyError, ParameterError):
+            return None
+
+    def put(
+        self, cell: Cell, record: RunRecord, fingerprint: str | None = None
+    ) -> str:
+        """Store a finished record under the cell's content address.
+        Returns the key. Atomic: readers never see a partial entry."""
+        if fingerprint is None:
+            fingerprint = code_fingerprint()
+        key = cache_key(cell, fingerprint)
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "fingerprint": fingerprint,
+            "cell": cell.identity(),
+            "record": record.to_json(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return key
+
+    # -- maintenance ------------------------------------------------------
+
+    def _entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p
+            for p in self.root.glob("??/*.json")
+            if not p.name.startswith(".tmp-")
+        )
+
+    def stats(self, fingerprint: str | None = None) -> CacheStats:
+        if fingerprint is None:
+            fingerprint = code_fingerprint()
+        entries = current = stale = size = 0
+        for path in self._entries():
+            entries += 1
+            size += path.stat().st_size
+            try:
+                payload = json.loads(path.read_text())
+                fp = payload.get("fingerprint")
+            except (OSError, ValueError):
+                fp = None
+            if fp == fingerprint:
+                current += 1
+            else:
+                stale += 1
+        return CacheStats(entries=entries, current=current, stale=stale, bytes=size)
+
+    def gc(self, fingerprint: str | None = None, drop_all: bool = False) -> int:
+        """Delete stale entries (stored fingerprint != current), or every
+        entry with ``drop_all``. Returns the number removed."""
+        if fingerprint is None:
+            fingerprint = code_fingerprint()
+        removed = 0
+        for path in self._entries():
+            if not drop_all:
+                try:
+                    payload = json.loads(path.read_text())
+                    if payload.get("fingerprint") == fingerprint:
+                        continue
+                except (OSError, ValueError):
+                    pass  # unreadable entries are garbage by definition
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for sub in self.root.glob("??"):
+            try:
+                sub.rmdir()  # only succeeds when empty
+            except OSError:
+                pass
+        return removed

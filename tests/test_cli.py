@@ -27,6 +27,7 @@ class TestParser:
             "power",
             "observe",
             "conformance",
+            "sweep",
         }
 
     def test_requires_command(self):
@@ -367,3 +368,212 @@ class TestObserveCommand:
                 ["observe", "check", "--ledger", ledger, "--inflate", "bogus"]
             )
         assert "TERM=FACTOR" in str(exc.value)
+
+    def test_check_reuses_sweep_cache_next_to_ledger(self, capsys, tmp_path):
+        # The smoke sweep's cache lives beside the ledger: a second
+        # --run-sweep must replay it (dashboard reports the hits).
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert main(["observe", "check", "--ledger", ledger]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "sweepcache").is_dir()
+        assert main(
+            ["observe", "check", "--ledger", ledger, "--run-sweep"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["observe", "report", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "sweep cache: 3 replayed, 3 simulated" in out
+
+
+class TestSweepCommand:
+    def _args(self, tmp_path, *extra):
+        return [
+            "sweep",
+            *extra,
+            "--n",
+            "24",
+            "--ledger",
+            str(tmp_path / "ledger.jsonl"),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+
+    def test_plan_lists_cells_with_cache_status(self, capsys, tmp_path):
+        assert main(self._args(tmp_path, "plan")) == 0
+        out = capsys.readouterr().out
+        assert "3 cell(s)" in out and out.count("miss") == 3
+        for p in (36, 72, 108):
+            assert f"matmul25d/p{p}" in out
+
+    def test_run_cold_then_warm_hits_cache(self, capsys, tmp_path):
+        assert main(self._args(tmp_path, "run", "--workers", "2")) == 0
+        out = capsys.readouterr().out
+        assert "3 simulated" in out and "0 cached" in out
+        assert main(self._args(tmp_path, "run")) == 0
+        out = capsys.readouterr().out
+        assert "3 cached" in out and "0 simulated" in out
+        # plan now reports every cell cached
+        assert main(self._args(tmp_path, "plan")) == 0
+        assert capsys.readouterr().out.count("cached") == 3
+
+    def test_run_json_payload(self, capsys, tmp_path):
+        import json
+
+        assert main(
+            self._args(tmp_path, "run", "--workers", "0", "--json")
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro_sweep_outcome/v1"
+        assert payload["cells"] == 3 and payload["failed"] == 0
+        assert {o["status"] for o in payload["outcomes"]} == {"simulated"}
+
+    def test_run_cold_flag_bypasses_cache(self, capsys, tmp_path):
+        assert main(self._args(tmp_path, "run", "--workers", "0")) == 0
+        capsys.readouterr()
+        assert main(
+            self._args(tmp_path, "run", "--workers", "0", "--cold")
+        ) == 0
+        assert "3 simulated" in capsys.readouterr().out
+
+    def test_gc_drops_stale_entries_on_fingerprint_change(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.sweep.cache import FINGERPRINT_ENV
+
+        monkeypatch.setenv(FINGERPRINT_ENV, "fp-old")
+        assert main(self._args(tmp_path, "run", "--workers", "0")) == 0
+        capsys.readouterr()
+        monkeypatch.setenv(FINGERPRINT_ENV, "fp-new")
+        assert main(self._args(tmp_path, "gc")) == 0
+        out = capsys.readouterr().out
+        assert "removed 3" in out
+
+    def test_gc_all(self, capsys, tmp_path):
+        assert main(self._args(tmp_path, "run", "--workers", "0")) == 0
+        capsys.readouterr()
+        assert main(self._args(tmp_path, "gc", "--all")) == 0
+        assert "removed 3" in capsys.readouterr().out
+
+    def test_spec_file_roundtrip(self, capsys, tmp_path):
+        import json
+
+        from repro.sweep import SweepSpec
+
+        spec = SweepSpec(workload="fft", n=64, p_values=(2, 4))
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_json()))
+        assert main(
+            self._args(tmp_path, "run", "--workers", "0")
+            + ["--spec", str(spec_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s)" in out
+
+    def test_rejects_unreadable_spec(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(self._args(tmp_path, "run") + ["--spec", "/nonexistent.json"])
+        assert "cannot read" in str(exc.value)
+
+    def test_rejects_bad_spec_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "wrong/v9"}')
+        with pytest.raises(SystemExit) as exc:
+            main(self._args(tmp_path, "run") + ["--spec", str(bad)])
+        assert "schema" in str(exc.value)
+
+    def test_failed_cell_exits_5(self, capsys, tmp_path):
+        import json
+
+        from repro.sweep import SweepSpec
+
+        # fft demands a power-of-two signal length; n=100 fails the cell.
+        spec = SweepSpec(workload="fft", n=100, p_values=(2,))
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_json()))
+        with pytest.raises(SystemExit) as exc:
+            main(
+                self._args(tmp_path, "run", "--workers", "0")
+                + ["--spec", str(spec_path)]
+            )
+        assert exc.value.code == 5
+
+
+class TestExitCodeContract:
+    """The documented CLI exit-code table, pinned in one place.
+
+    Every command exits 0 on success; failure modes use distinct,
+    documented codes: 1 = broken/usage, 2 = drift degraded,
+    3 = power cap violation, 4 = conformance divergence,
+    5 = sweep cell failure.
+    """
+
+    @pytest.mark.parametrize(
+        "argv, code",
+        [
+            # success paths -> 0 (main returns, no SystemExit)
+            (["trace", "nbody", "--p", "2", "--n", "8"], 0),
+            (["profile", "nbody", "--p", "2", "--n", "8"], 0),
+            (["faults", "--p", "8", "--n", "16", "--c", "2"], 0),
+            (["power", "nbody", "--p", "2", "--n", "8"], 0),
+            (["conformance", "--grid", "random", "--cells", "2"], 0),
+            # usage errors -> SystemExit with a message (exit 1)
+            (["trace", "matmul25d", "--p", "5"], "q^2 c"),
+            (["observe", "check", "--inflate", "bogus"], "TERM=FACTOR"),
+            # contract codes
+            (["power", "matmul25d", "--p", "8", "--cap", "1.0"], 3),
+        ],
+    )
+    def test_exit_codes(self, argv, code, tmp_path, capsys):
+        if argv[0] == "observe":
+            argv = argv + ["--ledger", str(tmp_path / "ledger.jsonl")]
+        if code == 0:
+            assert main(argv) == 0
+        else:
+            with pytest.raises(SystemExit) as exc:
+                main(argv)
+            if isinstance(code, int):
+                assert exc.value.code == code
+            else:  # message-carrying SystemExit: the shell sees exit 1
+                assert code in str(exc.value)
+
+    def test_observe_degraded_exits_2(self, capsys, tmp_path):
+        ledger = str(tmp_path / "ledger.jsonl")
+        assert main(["observe", "check", "--ledger", ledger]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["observe", "check", "--ledger", ledger,
+                 "--inflate", "T:alphaS=2"]
+            )
+        assert exc.value.code == 2
+
+    def test_conformance_divergence_exits_4(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["conformance", "--grid", "random", "--cells", "2",
+                 "--demo-divergence"]
+            )
+        assert exc.value.code == 4
+
+    def test_sweep_failure_exits_5(self, tmp_path, capsys):
+        import json
+
+        from repro.sweep import SweepSpec
+
+        spec = SweepSpec(workload="fft", n=100, p_values=(2,))
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_json()))
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["sweep", "run", "--spec", str(spec_path), "--workers", "0",
+                 "--ledger", str(tmp_path / "l.jsonl"),
+                 "--cache-dir", str(tmp_path / "c")]
+            )
+        assert exc.value.code == 5
+
+    def test_sweep_success_exits_0(self, tmp_path, capsys):
+        assert main(
+            ["sweep", "run", "--n", "24", "--workers", "0",
+             "--ledger", str(tmp_path / "l.jsonl"),
+             "--cache-dir", str(tmp_path / "c")]
+        ) == 0

@@ -233,6 +233,24 @@ class TestDiffer:
         report = run_grid(a, grid="random", seed=11)
         assert report.ok
 
+    @pytest.mark.slow
+    def test_smoke_grid_full_run_divergence_free(self):
+        """Tier-2: the entire smoke grid (every case x all 8 variants),
+        not just the size-3 slice tier-1 samples."""
+        cases = smoke_cases()
+        report = run_grid(cases, grid="smoke")
+        assert report.ok
+        assert report.cells == 8 * len(cases)
+
+    @pytest.mark.slow
+    def test_full_grid_divergence_free(self):
+        """Tier-2: the `full` grid — smoke + extended sizes up to 33 +
+        the seeded random sweep — must run divergence-free."""
+        cases = grid_cases("full", seed=20130527, cells=20)
+        report = run_grid(cases, grid="full", seed=20130527)
+        assert report.ok
+        assert len(report.non_pow2_sizes) >= 8
+
 
 class TestBruckErrorConformance:
     """alltoall_bruck at non-power-of-two p: both paths raise the same

@@ -169,3 +169,49 @@ class TestCollectiveValueAgreement:
             )
 
         assert all(run_spmd(p, prog).results)
+
+
+class TestProcessPoolExecutorFuzz:
+    """The sharded (multiprocessing) sweep executor against the
+    in-process reference: whatever random cells Hypothesis draws, the
+    records coming back over the worker queue must be bit-identical to
+    the ones the same cells produce in this process — the cross-process
+    face of the determinism invariants above."""
+
+    @seed(FUZZ_SEED)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["barrier", "bcast", "reduce", "allreduce",
+                     "reduce_scatter", "allgather", "gather", "scatter",
+                     "alltoall"]
+                ),
+                st.integers(min_value=2, max_value=13),
+                st.integers(min_value=1, max_value=24),
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_sharded_records_match_in_process(self, drawn):
+        from repro.conformance.differ import MACHINE
+        from repro.sweep import collective_cell, run_sweep
+
+        cells, seen = [], set()
+        for op, p, words in drawn:
+            cell = collective_cell(op, p, MACHINE, words=words)
+            if cell.cell_id not in seen:
+                seen.add(cell.cell_id)
+                cells.append(cell)
+        serial = run_sweep(cells, workers=0)
+        sharded = run_sweep(cells, workers=2)
+        assert sharded.failed == 0
+        assert set(sharded.records) == set(serial.records)
+        for cid in serial.records:
+            a, b = serial.records[cid], sharded.records[cid]
+            assert a.counts == b.counts
+            assert a.vtimes == b.vtimes
+            assert a.time_terms == b.time_terms
+            assert a.energy_terms == b.energy_terms
